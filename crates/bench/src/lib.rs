@@ -1,0 +1,93 @@
+//! Shared helpers for the table/figure regeneration harness.
+//!
+//! Every table and figure of the paper's evaluation has a `harness = false`
+//! bench target in `benches/`; running `cargo bench` regenerates all of
+//! them. `STARNUMA_SCALE=quick|default|full` trades fidelity for runtime.
+//!
+//! Absolute numbers are not expected to match the paper (the substrate is a
+//! from-scratch simulator driven by synthetic traces, not ChampSim over Pin
+//! traces of the real applications); the *shape* — who wins, by roughly what
+//! factor, where crossovers fall — is the reproduction target. Each bench
+//! prints the paper's reference values alongside the measured ones;
+//! `EXPERIMENTS.md` records a full paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+use starnuma::{Experiment, RunResult, ScaleConfig, SystemKind, Workload};
+
+/// Prints the standard bench banner.
+pub fn banner(artifact: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{artifact}");
+    println!("paper reference: {paper_ref}");
+    let scale = scale();
+    println!(
+        "scale: {} phases x {} instructions/core (STARNUMA_SCALE to change)",
+        scale.phases, scale.instructions_per_phase
+    );
+    println!("================================================================");
+}
+
+/// The harness scale (from `STARNUMA_SCALE`, default `default`).
+pub fn scale() -> ScaleConfig {
+    ScaleConfig::from_env()
+}
+
+/// A memoizing experiment runner: one bench process never runs the same
+/// (workload, system) pair twice.
+#[derive(Default)]
+pub struct Lab {
+    cache: HashMap<(Workload, SystemKind), RunResult>,
+}
+
+impl Lab {
+    /// Creates an empty lab.
+    pub fn new() -> Self {
+        Lab::default()
+    }
+
+    /// Runs (or returns the cached result of) one experiment at the harness
+    /// scale.
+    pub fn run(&mut self, workload: Workload, system: SystemKind) -> &RunResult {
+        self.cache
+            .entry((workload, system))
+            .or_insert_with(|| Experiment::new(workload, system, scale()).run())
+    }
+
+    /// Speedup of `system` over the §V-A baseline for `workload`.
+    pub fn speedup(&mut self, workload: Workload, system: SystemKind) -> f64 {
+        let base = self.run(workload, SystemKind::Baseline).ipc;
+        let sys = self.run(workload, system).ipc;
+        if base > 0.0 {
+            sys / base
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Formats a speedup cell like `1.54x`.
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.2}x")
+}
+
+/// Prints one row of a workload-major table.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<10}");
+    for c in cells {
+        print!(" {c:>10}");
+    }
+    println!();
+}
+
+/// Prints a header row.
+pub fn print_header(first: &str, columns: &[&str]) {
+    print!("{first:<10}");
+    for c in columns {
+        print!(" {c:>10}");
+    }
+    println!();
+}

@@ -1,0 +1,333 @@
+//! Implementation of the CLI commands.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use starnuma::report::{run_result_json, Json};
+use starnuma::{
+    geomean, AccessClass, CxlLatencyBreakdown, Experiment, LatencyModel, ScaleConfig, SystemKind,
+    TraceGenerator, Workload,
+};
+use starnuma_migration::ReplicationConfig;
+use starnuma_topology::SystemParams;
+use starnuma_trace::{read_phase, write_phase, SharingHistogram};
+use starnuma_types::{Location, SocketId};
+
+use crate::args::{ArgError, Args};
+
+/// Resolves a workload name (`bfs`, `BFS`, ...).
+pub fn parse_workload(name: &str) -> Result<Workload, ArgError> {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            ArgError(format!(
+                "unknown workload '{name}' (expected one of: {})",
+                Workload::ALL.map(|w| w.name().to_lowercase()).join(", ")
+            ))
+        })
+}
+
+/// Resolves a system-kind name.
+pub fn parse_system(name: &str) -> Result<SystemKind, ArgError> {
+    let key = name.to_ascii_lowercase().replace(['-', '_'], "");
+    let kind = match key.as_str() {
+        "baseline" => SystemKind::Baseline,
+        "baselinefirsttouch" | "firsttouch" => SystemKind::BaselineFirstTouch,
+        "baselineisobw" | "isobw" => SystemKind::BaselineIsoBw,
+        "baseline2xbw" | "2xbw" => SystemKind::Baseline2xBw,
+        "baselinestatic" | "baselinestaticoracle" => SystemKind::BaselineStaticOracle,
+        "starnuma" | "t16" => SystemKind::StarNuma,
+        "starnumat0" | "t0" => SystemKind::StarNumaT0,
+        "starnumahalfbw" | "halfbw" => SystemKind::StarNumaHalfBw,
+        "starnumacxlswitch" | "cxlswitch" => SystemKind::StarNumaCxlSwitch,
+        "starnumasmallpool" | "smallpool" => SystemKind::StarNumaSmallPool,
+        "starnumastatic" | "starnumastaticoracle" => SystemKind::StarNumaStaticOracle,
+        _ => {
+            return Err(ArgError(format!(
+                "unknown system '{name}' (try: baseline, starnuma, t0, isobw, \
+                 2xbw, halfbw, cxlswitch, smallpool, baseline-static, \
+                 starnuma-static, first-touch)"
+            )))
+        }
+    };
+    Ok(kind)
+}
+
+/// Builds a [`ScaleConfig`] from `--scale/--phases/--instructions/--seed`.
+pub fn parse_scale(args: &Args) -> Result<ScaleConfig, ArgError> {
+    let mut scale = match args.get_or("scale", "default") {
+        "quick" => ScaleConfig::quick(),
+        "default" => ScaleConfig::default_scale(),
+        "full" => ScaleConfig::full(),
+        other => {
+            return Err(ArgError(format!(
+                "unknown scale '{other}' (quick|default|full)"
+            )))
+        }
+    };
+    scale.phases = args.get_u64("phases", scale.phases as u64)? as usize;
+    scale.instructions_per_phase =
+        args.get_u64("instructions", scale.instructions_per_phase)?;
+    scale.seed = args.get_u64("seed", scale.seed)?;
+    Ok(scale)
+}
+
+/// `starnuma run --workload W --system S [--replication FRAC] [--json]`
+pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "workload", "system", "scale", "phases", "instructions", "seed", "json",
+        "replication",
+    ])?;
+    let workload = parse_workload(args.require("workload")?)?;
+    let system = parse_system(args.get_or("system", "starnuma"))?;
+    let scale = parse_scale(args)?;
+    let result = match args.get("replication") {
+        None => Experiment::new(workload, system, scale).run(),
+        Some(frac) => {
+            let frac: f64 = frac.parse().map_err(|_| {
+                ArgError(format!("--replication expects a fraction, got '{frac}'"))
+            })?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(ArgError("--replication must be in [0, 1]".into()));
+            }
+            let mut cfg = Experiment::new(workload, system, scale).run_config();
+            cfg.replication = Some(ReplicationConfig::with_budget_frac(
+                workload.profile().footprint_pages,
+                frac,
+            ));
+            starnuma::Runner::new(workload.profile(), cfg).run()
+        }
+    };
+    if args.switch("json") {
+        println!("{}", run_result_json(workload, system, &result).render());
+        return Ok(());
+    }
+    println!("{workload} on {system}");
+    println!("  per-core IPC      {:.3}", result.ipc);
+    println!(
+        "  AMAT              {:.0} ns ({:.0} unloaded + {:.0} contention)",
+        result.amat_ns, result.unloaded_amat_ns, result.contention_ns
+    );
+    println!("  observed MPKI     {:.1}", result.mpki);
+    println!(
+        "  migrations        {} pages ({:.0}% to pool)",
+        result.pages_migrated,
+        result.pool_migration_frac() * 100.0
+    );
+    println!("  access breakdown:");
+    for (i, class) in AccessClass::ALL.iter().enumerate() {
+        if result.class_fracs[i] > 0.0005 {
+            println!(
+                "    {:<10} {:>5.1}%  (mean {:.0} ns)",
+                class.label(),
+                result.class_fracs[i] * 100.0,
+                result.class_mean_ns[i]
+            );
+        }
+    }
+    if let Some(reps) = result.replication {
+        println!(
+            "  replication       {} regions, peak {} pages, {} collapses",
+            reps.regions_replicated, reps.peak_replica_pages, reps.collapses
+        );
+    }
+    Ok(())
+}
+
+/// `starnuma compare --workload W [--systems a,b,...] [--json]`
+pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "workload", "systems", "scale", "phases", "instructions", "seed", "json",
+    ])?;
+    let workload = parse_workload(args.require("workload")?)?;
+    let systems: Vec<SystemKind> = args
+        .get_or("systems", "baseline,starnuma,t0")
+        .split(',')
+        .map(parse_system)
+        .collect::<Result<_, _>>()?;
+    let scale = parse_scale(args)?;
+    let baseline = Experiment::new(workload, SystemKind::Baseline, scale.clone()).run();
+    let mut rows = Vec::new();
+    for system in systems {
+        let r = if system == SystemKind::Baseline {
+            baseline.clone()
+        } else {
+            Experiment::new(workload, system, scale.clone()).run()
+        };
+        rows.push((system, r));
+    }
+    if args.switch("json") {
+        let arr = Json::Arr(
+            rows.iter()
+                .map(|(s, r)| run_result_json(workload, *s, r))
+                .collect(),
+        );
+        println!("{}", arr.render());
+        return Ok(());
+    }
+    println!("{workload}: comparison against {}", SystemKind::Baseline);
+    println!(
+        "{:<30} {:>8} {:>9} {:>9} {:>8}",
+        "system", "IPC", "AMAT(ns)", "cont.(ns)", "speedup"
+    );
+    for (system, r) in &rows {
+        println!(
+            "{:<30} {:>8.3} {:>9.0} {:>9.0} {:>7.2}x",
+            system.label(),
+            r.ipc,
+            r.amat_ns,
+            r.contention_ns,
+            r.ipc / baseline.ipc
+        );
+    }
+    Ok(())
+}
+
+/// `starnuma sweep --system S [--workloads a,b,...]`
+pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "system", "workloads", "scale", "phases", "instructions", "seed",
+    ])?;
+    let system = parse_system(args.get_or("system", "starnuma"))?;
+    let workloads: Vec<Workload> = match args.get("workloads") {
+        None => Workload::ALL.to_vec(),
+        Some(list) => list.split(',').map(parse_workload).collect::<Result<_, _>>()?,
+    };
+    let scale = parse_scale(args)?;
+    println!("speedup of {system} over {} per workload:\n", SystemKind::Baseline);
+    let mut rows: Vec<(&str, f64)> = Vec::new();
+    for w in &workloads {
+        let base = Experiment::new(*w, SystemKind::Baseline, scale.clone()).run();
+        let sys = Experiment::new(*w, system, scale.clone()).run();
+        rows.push((w.name(), sys.ipc / base.ipc));
+    }
+    print!("{}", starnuma::chart::speedup_chart(&rows, 40));
+    let speedups: Vec<f64> = rows.iter().map(|(_, s)| *s).collect();
+    println!("{:<10} geomean {:.2}x", "", geomean(&speedups));
+    Ok(())
+}
+
+/// `starnuma topology [--sockets N] [--full-scale] [--dot PATH]`
+pub fn cmd_topology(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["sockets", "full-scale", "dot"])?;
+    let sockets = args.get_u64("sockets", 16)? as usize;
+    let base = if args.switch("full-scale") {
+        SystemParams::full_scale_starnuma()
+    } else {
+        SystemParams::scaled_starnuma()
+    };
+    let params = base
+        .with_num_sockets(sockets)
+        .map_err(|e| ArgError(e.to_string()))?;
+    if let Some(path) = args.get("dot") {
+        std::fs::write(path, starnuma_topology::to_dot(&params))
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        println!("wrote GraphViz topology to {path}");
+        return Ok(());
+    }
+    let m = LatencyModel::new(params.clone());
+    println!(
+        "{} sockets in {} chassis, {} cores, pool: yes",
+        params.num_sockets,
+        params.num_chassis(),
+        params.total_cores()
+    );
+    let s0 = SocketId::new(0);
+    println!("unloaded latencies from socket 0:");
+    println!("  local   {}", m.demand_access(s0, Location::Socket(s0)));
+    println!(
+        "  1-hop   {}",
+        m.demand_access(s0, Location::Socket(SocketId::new(1)))
+    );
+    println!(
+        "  2-hop   {}",
+        m.demand_access(s0, Location::Socket(SocketId::new(4)))
+    );
+    println!("  pool    {}", m.demand_access(s0, Location::Pool));
+    println!("block transfers: 3-hop avg {}, 4-hop via pool {}",
+        m.average_three_hop_transfer(), m.four_hop_pool_transfer());
+    let b = CxlLatencyBreakdown::paper();
+    println!(
+        "CXL breakdown: {} + {} + {} + {} + {} = {} penalty",
+        b.cpu_port, b.mhd_port, b.retimer, b.flight, b.mhd_internal,
+        b.total()
+    );
+    Ok(())
+}
+
+/// `starnuma workloads`
+pub fn cmd_workloads(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[])?;
+    println!(
+        "{:<10} {:>7} {:>8} {:>5} {:>12} {:>8}",
+        "workload", "MPKI", "IPC(1s)", "MLP", "footprint", "classes"
+    );
+    for w in Workload::ALL {
+        let p = w.profile();
+        println!(
+            "{:<10} {:>7.1} {:>8.2} {:>5} {:>9} pg {:>8}",
+            w.name(),
+            p.mpki,
+            p.ipc_single_socket,
+            p.mlp,
+            p.footprint_pages,
+            p.classes.len()
+        );
+    }
+    Ok(())
+}
+
+/// `starnuma trace gen|info ...`
+pub fn cmd_trace(args: &Args) -> Result<(), ArgError> {
+    match args.subcommand() {
+        Some("gen") => {
+            args.expect_only(&["workload", "out", "instructions", "seed", "sockets"])?;
+            let workload = parse_workload(args.require("workload")?)?;
+            let out = args.require("out")?;
+            let instructions = args.get_u64("instructions", 100_000)?;
+            let seed = args.get_u64("seed", 42)?;
+            let sockets = args.get_u64("sockets", 16)? as usize;
+            let mut gen = TraceGenerator::new(&workload.profile(), sockets, 4, seed);
+            let phase = gen.generate_phase(instructions);
+            let file = File::create(out)
+                .map_err(|e| ArgError(format!("cannot create {out}: {e}")))?;
+            write_phase(BufWriter::new(file), &phase)
+                .map_err(|e| ArgError(format!("write failed: {e}")))?;
+            println!(
+                "wrote {} accesses from {} cores to {out}",
+                phase.total_accesses(),
+                phase.per_core.len()
+            );
+            Ok(())
+        }
+        Some("info") => {
+            args.expect_only(&["in"])?;
+            let path = args.require("in")?;
+            let file = File::open(path)
+                .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+            let phase = read_phase(BufReader::new(file))
+                .map_err(|e| ArgError(format!("read failed: {e}")))?;
+            let h = SharingHistogram::from_trace(&phase, 4);
+            println!(
+                "{path}: {} cores, {} accesses, {} pages touched",
+                phase.per_core.len(),
+                phase.total_accesses(),
+                h.touched_pages
+            );
+            println!("observed sharing bins (pages / accesses):");
+            for (i, bin) in h.bins().iter().enumerate() {
+                println!(
+                    "  {:>5}: {:>5.1}% / {:>5.1}%",
+                    SharingHistogram::LABELS[i],
+                    bin.page_frac * 100.0,
+                    bin.access_frac * 100.0
+                );
+            }
+            Ok(())
+        }
+        other => Err(ArgError(format!(
+            "trace needs a subcommand gen|info, got {other:?}"
+        ))),
+    }
+}

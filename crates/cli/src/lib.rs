@@ -1,0 +1,152 @@
+//! Command-line front end for the StarNUMA reproduction.
+//!
+//! ```text
+//! starnuma run      --workload bfs --system starnuma [--json]
+//! starnuma compare  --workload bfs [--systems baseline,starnuma,t0]
+//! starnuma sweep    --system starnuma [--workloads bfs,tc]
+//! starnuma topology [--sockets 32] [--full-scale]
+//! starnuma workloads
+//! starnuma trace gen  --workload bfs --out bfs.sntr [--instructions N]
+//! starnuma trace info --in bfs.sntr
+//! ```
+//!
+//! All simulation commands accept `--scale quick|default|full`,
+//! `--phases N`, `--instructions N`, and `--seed N`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Args};
+
+/// Dispatches one invocation.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for unknown commands, bad flags, or I/O failures
+/// (trace files).
+pub fn run(raw: Vec<String>) -> Result<(), ArgError> {
+    if raw.is_empty() || raw[0] == "help" || raw.iter().any(|a| a == "--help") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let args = Args::parse(raw)?;
+    match args.command() {
+        "run" => commands::cmd_run(&args),
+        "compare" => commands::cmd_compare(&args),
+        "sweep" => commands::cmd_sweep(&args),
+        "topology" => commands::cmd_topology(&args),
+        "workloads" => commands::cmd_workloads(&args),
+        "trace" => commands::cmd_trace(&args),
+        other => Err(ArgError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> &'static str {
+    "starnuma — StarNUMA (MICRO 2024) reproduction CLI
+
+commands:
+  run       run one experiment
+              --workload <name>        (required: sssp|bfs|cc|tc|masstree|tpcc|fmi|poa)
+              --system <name>          (default starnuma; see `compare`)
+              --replication <frac>     enable §V-F replication with the given
+                                       per-socket capacity fraction
+              --json                   machine-readable output
+  compare   compare systems on one workload
+              --workload <name>        (required)
+              --systems a,b,c          (default baseline,starnuma,t0)
+  sweep     one system across workloads
+              --system <name>          (default starnuma)
+              --workloads a,b,c        (default: all eight)
+  topology  print the machine's latency structure
+              --sockets <n>            (default 16; must be a multiple of 4)
+              --full-scale             Table I instead of Table II parameters
+              --dot <path>             write a GraphViz rendering instead
+  workloads list the workload profiles
+  trace gen  generate a trace file
+              --workload <name> --out <path> [--instructions N] [--seed N]
+  trace info inspect a trace file
+              --in <path>
+
+common simulation flags:
+  --scale quick|default|full   --phases N   --instructions N   --seed N
+
+systems: baseline, first-touch, isobw, 2xbw, baseline-static,
+         starnuma (t16), t0, halfbw, cxlswitch, smallpool, starnuma-static"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<(), ArgError> {
+        run(tokens.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn help_paths_succeed() {
+        assert!(run_tokens(&[]).is_ok());
+        assert!(run_tokens(&["help"]).is_ok());
+        assert!(run_tokens(&["run", "--help"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let e = run_tokens(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn workloads_and_topology_commands_work() {
+        assert!(run_tokens(&["workloads"]).is_ok());
+        assert!(run_tokens(&["topology"]).is_ok());
+        assert!(run_tokens(&["topology", "--sockets", "32", "--full-scale"]).is_ok());
+        assert!(run_tokens(&["topology", "--sockets", "13"]).is_err());
+    }
+
+    #[test]
+    fn run_command_validates_flags() {
+        let e = run_tokens(&["run"]).unwrap_err();
+        assert!(e.to_string().contains("--workload"));
+        let e = run_tokens(&["run", "--workload", "nope"]).unwrap_err();
+        assert!(e.to_string().contains("unknown workload"));
+        let e = run_tokens(&["run", "--workload", "bfs", "--system", "nope"]).unwrap_err();
+        assert!(e.to_string().contains("unknown system"));
+        let e = run_tokens(&["run", "--workload", "bfs", "--scale", "huge"]).unwrap_err();
+        assert!(e.to_string().contains("unknown scale"));
+    }
+
+    #[test]
+    fn run_executes_a_tiny_experiment() {
+        assert!(run_tokens(&[
+            "run", "--workload", "poa", "--system", "starnuma", "--scale", "quick",
+            "--phases", "1", "--instructions", "4000", "--json",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn trace_roundtrip_via_cli() {
+        let dir = std::env::temp_dir().join("starnuma-cli-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("t.sntr");
+        let path_s = path.to_str().expect("utf-8 path");
+        assert!(run_tokens(&[
+            "trace", "gen", "--workload", "tpcc", "--out", path_s,
+            "--instructions", "3000",
+        ])
+        .is_ok());
+        assert!(run_tokens(&["trace", "info", "--in", path_s]).is_ok());
+        assert!(run_tokens(&["trace", "info", "--in", "/nonexistent/x"]).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_requires_subcommand() {
+        let e = run_tokens(&["trace", "--workload", "bfs"]).unwrap_err();
+        assert!(e.to_string().contains("subcommand"));
+    }
+}

@@ -1,0 +1,18 @@
+//! `starnuma` — command-line front end for the StarNUMA reproduction.
+
+use std::process::ExitCode;
+
+use starnuma_cli::{run, usage};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

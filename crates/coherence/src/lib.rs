@@ -1,0 +1,443 @@
+//! Directory-based MESI coherence for the multi-socket system and the
+//! CXL memory pool (§III-C of the paper).
+//!
+//! Directory information is distributed across the sockets and the pool,
+//! aligned with the address-space distribution: the directory entry for a
+//! block lives at the block's *home node* — the socket (or pool) whose
+//! memory currently holds the containing page. Accesses that miss in their
+//! originating socket's LLC are routed to the home node, which initiates all
+//! subsequent coherence actions.
+//!
+//! Two socket-to-socket transfer patterns arise (Fig. 4):
+//!
+//! * home is a **socket** → classic 3-hop cache-to-cache transfer
+//!   R→H→O→R (`BT_Socket`, 333 ns average unloaded network latency);
+//! * home is the **pool** → 4-hop transfer via the pool R→H→O→H→R
+//!   (`BT_Pool`, 200 ns: two CXL roundtrips) — counter-intuitively *faster*
+//!   on average than 3-hop, because it avoids cross-chassis traversals.
+//!
+//! # Examples
+//!
+//! ```
+//! use starnuma_coherence::{Directory, TransferKind};
+//! use starnuma_types::{BlockAddr, Location, SocketId};
+//!
+//! let mut dir = Directory::new(16);
+//! let b = BlockAddr::new(42);
+//! let home = Location::Pool;
+//! // Socket 0 writes the block: plain memory access, 0 becomes owner.
+//! let w = dir.access(b, SocketId::new(0), true, home);
+//! assert_eq!(w.transfer, TransferKind::FromMemory);
+//! // Socket 1 reads it: dirty data is forwarded — a 4-hop pool transfer.
+//! let r = dir.access(b, SocketId::new(1), false, home);
+//! assert_eq!(r.transfer, TransferKind::CacheToCache { owner: SocketId::new(0) });
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+use starnuma_types::{BlockAddr, Location, SocketId};
+
+/// How the requested data was supplied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransferKind {
+    /// Served from memory at the home node (clean, or requester already had
+    /// the only copy).
+    FromMemory,
+    /// Forwarded from the owning socket's cache: a 3-hop (socket home) or
+    /// 4-hop (pool home) block transfer.
+    CacheToCache {
+        /// The socket whose cache supplied the block.
+        owner: SocketId,
+    },
+}
+
+/// The directory's response to one LLC-missing access.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoherenceOutcome {
+    /// How the data was supplied.
+    pub transfer: TransferKind,
+    /// Sockets whose cached copies must be invalidated (writes only).
+    /// Each entry generates an invalidation message on the interconnect and
+    /// a back-invalidation into that socket's LLC.
+    pub invalidations: Vec<SocketId>,
+}
+
+/// Coherence-protocol statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DirectoryStats {
+    /// Total directory transactions (every LLC-missing access is one).
+    pub transactions: u64,
+    /// Transactions whose home was the memory pool — the CXL directory load
+    /// discussed in §V-A ("a coherence transaction every 100 ns").
+    pub pool_transactions: u64,
+    /// Cache-to-cache transfers with a socket home (3-hop, `BT_Socket`).
+    pub bt_socket: u64,
+    /// Cache-to-cache transfers via the pool (4-hop, `BT_Pool`).
+    pub bt_pool: u64,
+    /// Invalidation messages sent.
+    pub invalidations: u64,
+    /// Dirty writebacks received.
+    pub writebacks: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    /// Bitmask of sockets holding the block (Shared), or exactly the owner's
+    /// bit when `owner` is set (Modified/Exclusive).
+    sharers: u32,
+    /// Modified owner, if any.
+    owner: Option<SocketId>,
+}
+
+/// The distributed coherence directory.
+///
+/// One logical object models every home node's directory slice; per-home
+/// statistics are kept so the pool directory's transaction rate can be
+/// reported separately.
+#[derive(Clone, Debug)]
+pub struct Directory {
+    num_sockets: usize,
+    entries: HashMap<BlockAddr, Entry>,
+    stats: DirectoryStats,
+}
+
+impl Directory {
+    /// Creates an empty directory for an `num_sockets`-socket system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sockets` is zero or exceeds 32 (the sharer bitmask
+    /// width; the paper targets 8–32 sockets).
+    pub fn new(num_sockets: usize) -> Self {
+        assert!(
+            (1..=32).contains(&num_sockets),
+            "socket count must be in 1..=32, got {num_sockets}"
+        );
+        Directory {
+            num_sockets,
+            entries: HashMap::new(),
+            stats: DirectoryStats::default(),
+        }
+    }
+
+    /// Returns protocol statistics.
+    pub fn stats(&self) -> DirectoryStats {
+        self.stats
+    }
+
+    /// Number of blocks with directory state.
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn bit(s: SocketId) -> u32 {
+        1u32 << s.index()
+    }
+
+    /// Processes an LLC-missing access to `block` by `requester`, with the
+    /// block's page homed at `home`. Returns how the data is supplied and
+    /// which sockets must be invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requester` is outside the configured socket count.
+    pub fn access(
+        &mut self,
+        block: BlockAddr,
+        requester: SocketId,
+        is_write: bool,
+        home: Location,
+    ) -> CoherenceOutcome {
+        assert!(
+            (requester.index() as usize) < self.num_sockets,
+            "requester {requester:?} out of range"
+        );
+        self.stats.transactions += 1;
+        if home.is_pool() {
+            self.stats.pool_transactions += 1;
+        }
+        let entry = self.entries.entry(block).or_default();
+        let req_bit = Self::bit(requester);
+
+        // Determine data source.
+        let transfer = match entry.owner {
+            Some(owner) if owner != requester => {
+                if home.is_pool() {
+                    self.stats.bt_pool += 1;
+                } else {
+                    self.stats.bt_socket += 1;
+                }
+                TransferKind::CacheToCache { owner }
+            }
+            _ => TransferKind::FromMemory,
+        };
+
+        let mut invalidations = Vec::new();
+        if is_write {
+            // All other copies are invalidated; requester becomes owner.
+            let others = entry.sharers & !req_bit;
+            if others != 0 {
+                for s in 0..self.num_sockets as u16 {
+                    let sid = SocketId::new(s);
+                    if others & Self::bit(sid) != 0 {
+                        invalidations.push(sid);
+                    }
+                }
+            }
+            self.stats.invalidations += invalidations.len() as u64;
+            entry.sharers = req_bit;
+            entry.owner = Some(requester);
+        } else {
+            // Read: previous owner (if different) downgrades to Shared.
+            if let Some(owner) = entry.owner {
+                if owner != requester {
+                    entry.owner = None;
+                }
+            }
+            entry.sharers |= req_bit;
+        }
+        CoherenceOutcome {
+            transfer,
+            invalidations,
+        }
+    }
+
+    /// Records that `socket` evicted `block` from its LLC; `dirty` evictions
+    /// write data back to the home memory.
+    pub fn evict(&mut self, block: BlockAddr, socket: SocketId, dirty: bool) {
+        if let Some(entry) = self.entries.get_mut(&block) {
+            entry.sharers &= !Self::bit(socket);
+            if entry.owner == Some(socket) {
+                entry.owner = None;
+            }
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+            if entry.sharers == 0 && entry.owner.is_none() {
+                self.entries.remove(&block);
+            }
+        }
+    }
+
+    /// Current sharers of `block` (for tests and diagnostics).
+    pub fn sharers(&self, block: BlockAddr) -> Vec<SocketId> {
+        match self.entries.get(&block) {
+            None => Vec::new(),
+            Some(e) => (0..self.num_sockets as u16)
+                .map(SocketId::new)
+                .filter(|s| e.sharers & Self::bit(*s) != 0)
+                .collect(),
+        }
+    }
+
+    /// Current Modified owner of `block`, if any.
+    pub fn owner(&self, block: BlockAddr) -> Option<SocketId> {
+        self.entries.get(&block).and_then(|e| e.owner)
+    }
+
+    /// Clears all directory state and statistics (between phases).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.stats = DirectoryStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOME_SOCKET: Location = Location::Socket(SocketId::new(2));
+
+    fn s(i: u16) -> SocketId {
+        SocketId::new(i)
+    }
+
+    #[test]
+    fn cold_read_comes_from_memory() {
+        let mut d = Directory::new(16);
+        let out = d.access(BlockAddr::new(1), s(0), false, HOME_SOCKET);
+        assert_eq!(out.transfer, TransferKind::FromMemory);
+        assert!(out.invalidations.is_empty());
+        assert_eq!(d.sharers(BlockAddr::new(1)), vec![s(0)]);
+    }
+
+    #[test]
+    fn read_of_dirty_block_is_cache_to_cache() {
+        let mut d = Directory::new(16);
+        let b = BlockAddr::new(1);
+        d.access(b, s(0), true, HOME_SOCKET);
+        let out = d.access(b, s(1), false, HOME_SOCKET);
+        assert_eq!(out.transfer, TransferKind::CacheToCache { owner: s(0) });
+        // Owner downgraded; both are sharers now.
+        assert_eq!(d.owner(b), None);
+        assert_eq!(d.sharers(b), vec![s(0), s(1)]);
+        assert_eq!(d.stats().bt_socket, 1);
+        assert_eq!(d.stats().bt_pool, 0);
+    }
+
+    #[test]
+    fn pool_home_transfer_counts_as_bt_pool() {
+        let mut d = Directory::new(16);
+        let b = BlockAddr::new(1);
+        d.access(b, s(0), true, Location::Pool);
+        let out = d.access(b, s(1), false, Location::Pool);
+        assert_eq!(out.transfer, TransferKind::CacheToCache { owner: s(0) });
+        assert_eq!(d.stats().bt_pool, 1);
+        assert_eq!(d.stats().pool_transactions, 2);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut d = Directory::new(16);
+        let b = BlockAddr::new(9);
+        d.access(b, s(0), false, HOME_SOCKET);
+        d.access(b, s(1), false, HOME_SOCKET);
+        d.access(b, s(3), false, HOME_SOCKET);
+        let out = d.access(b, s(5), true, HOME_SOCKET);
+        assert_eq!(out.invalidations, vec![s(0), s(1), s(3)]);
+        assert_eq!(d.owner(b), Some(s(5)));
+        assert_eq!(d.sharers(b), vec![s(5)]);
+        assert_eq!(d.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn write_by_owner_is_silent() {
+        let mut d = Directory::new(16);
+        let b = BlockAddr::new(2);
+        d.access(b, s(4), true, HOME_SOCKET);
+        let out = d.access(b, s(4), true, HOME_SOCKET);
+        assert_eq!(out.transfer, TransferKind::FromMemory);
+        assert!(out.invalidations.is_empty());
+        assert_eq!(d.owner(b), Some(s(4)));
+    }
+
+    #[test]
+    fn write_after_reads_then_new_owner_transfer() {
+        let mut d = Directory::new(16);
+        let b = BlockAddr::new(7);
+        d.access(b, s(0), true, Location::Pool); // 0 owns
+        let out = d.access(b, s(8), true, Location::Pool); // 8 takes ownership
+        assert_eq!(out.transfer, TransferKind::CacheToCache { owner: s(0) });
+        assert_eq!(out.invalidations, vec![s(0)]);
+        assert_eq!(d.owner(b), Some(s(8)));
+    }
+
+    #[test]
+    fn eviction_removes_sharer_and_owner() {
+        let mut d = Directory::new(16);
+        let b = BlockAddr::new(3);
+        d.access(b, s(0), true, HOME_SOCKET);
+        d.evict(b, s(0), true);
+        assert_eq!(d.owner(b), None);
+        assert!(d.sharers(b).is_empty());
+        assert_eq!(d.stats().writebacks, 1);
+        assert_eq!(d.tracked_blocks(), 0, "empty entries are garbage-collected");
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut d = Directory::new(16);
+        let b = BlockAddr::new(3);
+        d.access(b, s(0), false, HOME_SOCKET);
+        d.evict(b, s(0), false);
+        assert_eq!(d.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn eviction_of_untracked_block_is_noop() {
+        let mut d = Directory::new(16);
+        d.evict(BlockAddr::new(99), s(0), true);
+        assert_eq!(d.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = Directory::new(16);
+        d.access(BlockAddr::new(1), s(0), true, Location::Pool);
+        d.reset();
+        assert_eq!(d.tracked_blocks(), 0);
+        assert_eq!(d.stats().transactions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "socket count must be in 1..=32")]
+    fn rejects_oversized_system() {
+        let _ = Directory::new(33);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_requester() {
+        let mut d = Directory::new(4);
+        d.access(BlockAddr::new(0), s(7), false, HOME_SOCKET);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    struct Op {
+        block: u64,
+        socket: u16,
+        write: bool,
+        evict: bool,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u64..8, 0u16..16, proptest::bool::ANY, proptest::bool::weighted(0.2)).prop_map(
+            |(block, socket, write, evict)| Op {
+                block,
+                socket,
+                write,
+                evict,
+            },
+        )
+    }
+
+    proptest! {
+        /// Protocol invariant: whenever a block has a Modified owner, the
+        /// owner is its only sharer (single-writer / multiple-reader).
+        #[test]
+        fn single_writer_invariant(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+            let mut d = Directory::new(16);
+            for op in ops {
+                let b = BlockAddr::new(op.block);
+                let sid = SocketId::new(op.socket);
+                if op.evict {
+                    d.evict(b, sid, op.write);
+                } else {
+                    d.access(b, sid, op.write, Location::Pool);
+                }
+                if let Some(owner) = d.owner(b) {
+                    prop_assert_eq!(d.sharers(b), vec![owner]);
+                }
+            }
+        }
+
+        /// Invalidations never include the requester, and after a write the
+        /// requester is the sole sharer.
+        #[test]
+        fn writes_leave_exactly_one_sharer(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut d = Directory::new(16);
+            for op in ops {
+                let b = BlockAddr::new(op.block);
+                let sid = SocketId::new(op.socket);
+                if op.evict {
+                    d.evict(b, sid, false);
+                    continue;
+                }
+                let out = d.access(b, sid, op.write, Location::Socket(SocketId::new(0)));
+                prop_assert!(!out.invalidations.contains(&sid));
+                if op.write {
+                    prop_assert_eq!(d.sharers(b), vec![sid]);
+                }
+            }
+        }
+    }
+}

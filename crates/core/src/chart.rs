@@ -1,0 +1,153 @@
+//! Terminal bar charts for harness output.
+//!
+//! The paper's figures are bar charts; these helpers render the regenerated
+//! data as horizontal ASCII bars so `cargo bench` output is readable as
+//! figures, not just tables.
+
+/// One bar of a chart.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    /// Row label (workload name, configuration, ...).
+    pub label: String,
+    /// Bar value.
+    pub value: f64,
+    /// Short value annotation printed after the bar (e.g. `1.54x`).
+    pub annotation: String,
+}
+
+impl Bar {
+    /// Creates a bar with a formatted annotation.
+    pub fn new(label: impl Into<String>, value: f64, annotation: impl Into<String>) -> Self {
+        Bar {
+            label: label.into(),
+            value,
+            annotation: annotation.into(),
+        }
+    }
+}
+
+/// Renders a horizontal bar chart into a `String`.
+///
+/// Bars are scaled so the maximum value spans `width` cells; a `baseline`
+/// (e.g. speedup 1.0) is drawn as a `|` marker inside each bar when it
+/// falls within range. Non-finite or negative values render as empty bars.
+///
+/// # Examples
+///
+/// ```
+/// use starnuma::chart::{render_bars, Bar};
+///
+/// let chart = render_bars(
+///     &[
+///         Bar::new("BFS", 1.71, "1.71x"),
+///         Bar::new("POA", 1.00, "1.00x"),
+///     ],
+///     30,
+///     Some(1.0),
+/// );
+/// assert!(chart.contains("BFS"));
+/// assert!(chart.lines().count() >= 2);
+/// ```
+pub fn render_bars(bars: &[Bar], width: usize, baseline: Option<f64>) -> String {
+    let width = width.max(8);
+    let max = bars
+        .iter()
+        .map(|b| if b.value.is_finite() { b.value } else { 0.0 })
+        .fold(0.0f64, f64::max)
+        .max(baseline.unwrap_or(0.0));
+    let label_w = bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for bar in bars {
+        let v = if bar.value.is_finite() && bar.value > 0.0 {
+            bar.value
+        } else {
+            0.0
+        };
+        let filled = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let mut cells: Vec<char> = vec!['#'; filled.min(width)];
+        cells.resize(width, ' ');
+        if let Some(base) = baseline {
+            if base > 0.0 && base <= max {
+                let pos = ((base / max) * width as f64).round() as usize;
+                let pos = pos.min(width - 1);
+                cells[pos] = '|';
+            }
+        }
+        let bar_str: String = cells.into_iter().collect();
+        out.push_str(&format!(
+            "{:<label_w$} {} {}\n",
+            bar.label, bar_str, bar.annotation
+        ));
+    }
+    out
+}
+
+/// Convenience: renders a speedup chart (baseline marker at 1.0,
+/// annotations like `1.54x`).
+pub fn speedup_chart(rows: &[(&str, f64)], width: usize) -> String {
+    let bars: Vec<Bar> = rows
+        .iter()
+        .map(|(label, v)| Bar::new(*label, *v, format!("{v:.2}x")))
+        .collect();
+    render_bars(&bars, width, Some(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let chart = render_bars(
+            &[Bar::new("a", 2.0, "2"), Bar::new("b", 1.0, "1")],
+            10,
+            None,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let hashes_a = lines[0].matches('#').count();
+        let hashes_b = lines[1].matches('#').count();
+        assert_eq!(hashes_a, 10);
+        assert_eq!(hashes_b, 5);
+    }
+
+    #[test]
+    fn baseline_marker_drawn() {
+        let chart = render_bars(&[Bar::new("x", 2.0, "2x")], 10, Some(1.0));
+        assert!(chart.contains('|'));
+    }
+
+    #[test]
+    fn degenerate_values_render_empty() {
+        let chart = render_bars(
+            &[
+                Bar::new("nan", f64::NAN, "-"),
+                Bar::new("neg", -3.0, "-"),
+            ],
+            10,
+            None,
+        );
+        assert_eq!(chart.matches('#').count(), 0);
+    }
+
+    #[test]
+    fn labels_aligned() {
+        let chart = speedup_chart(&[("short", 1.5), ("a-longer-label", 1.2)], 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        let bar_starts: Vec<usize> = lines
+            .iter()
+            .map(|l| l.find(['#', ' ']).unwrap_or(0))
+            .collect();
+        let _ = bar_starts;
+        assert!(lines[0].starts_with("short         "));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert_eq!(render_bars(&[], 20, None), "");
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulation-scale presets: how many phases, how long each is.
+
+use starnuma_topology::ScalePreset;
+
+/// Controls simulation length and the §V-G methodology preset.
+///
+/// The paper simulates 5–10 checkpoints of 100 M instructions per core; this
+/// reproduction scales those windows down so the full table/figure harness
+/// runs on a laptop. `STARNUMA_SCALE=quick|default|full` selects a preset at
+/// bench time via [`ScaleConfig::from_env`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScaleConfig {
+    /// Number of phases (checkpoints).
+    pub phases: usize,
+    /// Instructions per core per phase.
+    pub instructions_per_phase: u64,
+    /// Warm-up instructions per core.
+    pub warmup_instructions: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// The §V-G simulation-configuration preset (SC1/SC2/SC3).
+    pub preset: ScalePreset,
+}
+
+impl ScaleConfig {
+    /// Tiny runs for unit/integration tests (~seconds per experiment).
+    pub fn quick() -> Self {
+        ScaleConfig {
+            phases: 2,
+            instructions_per_phase: 20_000,
+            warmup_instructions: 4_000,
+            seed: 42,
+            preset: ScalePreset::Sc1,
+        }
+    }
+
+    /// The default harness scale: long enough for migration dynamics to
+    /// settle and contention to develop.
+    pub fn default_scale() -> Self {
+        ScaleConfig {
+            phases: 5,
+            instructions_per_phase: 100_000,
+            warmup_instructions: 10_000,
+            seed: 42,
+            preset: ScalePreset::Sc1,
+        }
+    }
+
+    /// A heavier scale for final numbers (several minutes per figure).
+    pub fn full() -> Self {
+        ScaleConfig {
+            phases: 8,
+            instructions_per_phase: 250_000,
+            warmup_instructions: 25_000,
+            seed: 42,
+            preset: ScalePreset::Sc1,
+        }
+    }
+
+    /// Reads `STARNUMA_SCALE` (`quick`, `default`, `full`); defaults to
+    /// [`ScaleConfig::default_scale`].
+    pub fn from_env() -> Self {
+        match std::env::var("STARNUMA_SCALE").as_deref() {
+            Ok("quick") => Self::quick(),
+            Ok("full") => Self::full(),
+            _ => Self::default_scale(),
+        }
+    }
+
+    /// Applies a §V-G methodology preset: SC2 triples the detailed window;
+    /// SC3 doubles the machine (handled in the system parameters).
+    pub fn with_preset(mut self, preset: ScalePreset) -> Self {
+        self.preset = preset;
+        if preset == ScalePreset::Sc2 {
+            self.instructions_per_phase *= 3;
+        }
+        self
+    }
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = ScaleConfig::quick();
+        let d = ScaleConfig::default_scale();
+        let f = ScaleConfig::full();
+        assert!(q.instructions_per_phase < d.instructions_per_phase);
+        assert!(d.instructions_per_phase < f.instructions_per_phase);
+        assert!(q.phases <= d.phases && d.phases <= f.phases);
+    }
+
+    #[test]
+    fn sc2_triples_instructions() {
+        let base = ScaleConfig::quick();
+        let sc2 = ScaleConfig::quick().with_preset(ScalePreset::Sc2);
+        assert_eq!(sc2.instructions_per_phase, 3 * base.instructions_per_phase);
+        let sc3 = ScaleConfig::quick().with_preset(ScalePreset::Sc3);
+        assert_eq!(sc3.instructions_per_phase, base.instructions_per_phase);
+        assert_eq!(sc3.preset, ScalePreset::Sc3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Parameter-sweep helpers: speedup as a function of one design knob.
+//!
+//! The paper samples two points per knob (Fig. 10: 100/190 ns; Fig. 12:
+//! 1/5 and 1/17 capacity); these helpers trace the whole curve, which is
+//! what an architect provisioning a real MHD wants — in particular the
+//! *break-even pool latency*, beyond which StarNUMA stops paying off.
+
+use starnuma_sim::Runner;
+use starnuma_topology::SystemParams;
+use starnuma_trace::Workload;
+use starnuma_types::Nanos;
+
+use crate::experiment::{Experiment, SystemKind};
+use crate::scale::ScaleConfig;
+
+/// One sweep sample.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SweepPoint {
+    /// The knob value (ns of one-way CXL latency, or pool capacity
+    /// fraction, depending on the sweep).
+    pub x: f64,
+    /// Speedup over the §IV-C baseline at that value.
+    pub speedup: f64,
+}
+
+/// Sweeps the one-way CXL latency (ns) and returns the speedup curve.
+///
+/// The default design point is 50 ns one-way (100 ns roundtrip penalty,
+/// 180 ns end-to-end); 140 ns one-way makes the pool exactly as slow as a
+/// 2-hop access.
+pub fn sweep_cxl_latency(
+    workload: Workload,
+    scale: &ScaleConfig,
+    one_way_ns: &[f64],
+) -> Vec<SweepPoint> {
+    let base = Experiment::new(workload, SystemKind::Baseline, scale.clone()).run();
+    one_way_ns
+        .iter()
+        .map(|&ns| {
+            let mut cfg =
+                Experiment::new(workload, SystemKind::StarNuma, scale.clone()).run_config();
+            cfg.params = SystemParams::scaled_starnuma().with_cxl_one_way(Nanos::new(ns));
+            let r = Runner::new(workload.profile(), cfg).run();
+            SweepPoint {
+                x: ns,
+                speedup: r.ipc / base.ipc,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the pool capacity (as a fraction of the footprint).
+pub fn sweep_pool_capacity(
+    workload: Workload,
+    scale: &ScaleConfig,
+    fractions: &[f64],
+) -> Vec<SweepPoint> {
+    let base = Experiment::new(workload, SystemKind::Baseline, scale.clone()).run();
+    fractions
+        .iter()
+        .map(|&frac| {
+            let mut cfg =
+                Experiment::new(workload, SystemKind::StarNuma, scale.clone()).run_config();
+            cfg.pool_capacity_frac = frac;
+            let r = Runner::new(workload.profile(), cfg).run();
+            SweepPoint {
+                x: frac,
+                speedup: r.ipc / base.ipc,
+            }
+        })
+        .collect()
+}
+
+/// Linear-interpolated `x` where a descending sweep crosses `speedup = 1.0`,
+/// if it does.
+pub fn break_even(points: &[SweepPoint]) -> Option<f64> {
+    for pair in points.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if (a.speedup - 1.0) * (b.speedup - 1.0) <= 0.0 && a.speedup != b.speedup {
+            let t = (1.0 - a.speedup) / (b.speedup - a.speedup);
+            return Some(a.x + t * (b.x - a.x));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn break_even_interpolates() {
+        let pts = [
+            SweepPoint { x: 50.0, speedup: 1.5 },
+            SweepPoint { x: 150.0, speedup: 1.1 },
+            SweepPoint { x: 250.0, speedup: 0.9 },
+        ];
+        let be = break_even(&pts).expect("crosses 1.0");
+        assert!((be - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_even_none_when_always_winning() {
+        let pts = [
+            SweepPoint { x: 1.0, speedup: 1.5 },
+            SweepPoint { x: 2.0, speedup: 1.2 },
+        ];
+        assert!(break_even(&pts).is_none());
+    }
+
+    #[test]
+    fn capacity_sweep_runs_quick() {
+        let scale = ScaleConfig {
+            phases: 1,
+            instructions_per_phase: 8_000,
+            warmup_instructions: 0,
+            ..ScaleConfig::quick()
+        };
+        let pts = sweep_pool_capacity(Workload::Bfs, &scale, &[0.05, 0.2]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.speedup > 0.0));
+    }
+}

@@ -1,0 +1,256 @@
+//! The page→location map with first-touch initialization and pool-capacity
+//! accounting.
+
+use starnuma_trace::PhaseTrace;
+use starnuma_types::{Location, PageId, RegionId, SocketId, REGION_PAGES};
+
+/// Maps every page of the footprint to the memory that currently holds it.
+///
+/// Initial placement follows the paper's first-touch policy (§IV-C); the
+/// migration machinery then moves pages between sockets and (in StarNUMA)
+/// the pool. The map enforces the pool-capacity limit of §IV-D: the amount
+/// of data allowed in the pool is a fraction of the workload footprint
+/// (20 % by default, 1/17 in the §V-E study).
+#[derive(Clone, Debug)]
+pub struct PageMap {
+    locations: Vec<Location>,
+    pool_pages: u64,
+    pool_capacity_pages: u64,
+}
+
+impl PageMap {
+    /// Creates a map with every page placed by `placer`.
+    pub fn from_fn(
+        footprint_pages: u64,
+        pool_capacity_pages: u64,
+        mut placer: impl FnMut(PageId) -> Location,
+    ) -> Self {
+        let locations: Vec<Location> = (0..footprint_pages)
+            .map(|p| placer(PageId::new(p)))
+            .collect();
+        let pool_pages = locations.iter().filter(|l| l.is_pool()).count() as u64;
+        PageMap {
+            locations,
+            pool_pages,
+            pool_capacity_pages,
+        }
+    }
+
+    /// First-touch placement: each page lives on the socket whose core first
+    /// accessed it (ties broken by lowest icount, then lowest core id).
+    /// Untouched pages are distributed round-robin.
+    pub fn first_touch(
+        footprint_pages: u64,
+        pool_capacity_pages: u64,
+        trace: &PhaseTrace,
+        cores_per_socket: usize,
+        num_sockets: usize,
+    ) -> Self {
+        let mut first: Vec<Option<(u64, u32)>> = vec![None; footprint_pages as usize];
+        for a in trace.iter() {
+            let p = a.addr.page().pfn() as usize;
+            let key = (a.icount, a.core.index());
+            match first[p] {
+                Some(existing) if existing <= key => {}
+                _ => first[p] = Some(key),
+            }
+        }
+        let mut rr = 0u16;
+        Self::from_fn(footprint_pages, pool_capacity_pages, |page| {
+            match first[page.pfn() as usize] {
+                Some((_, core)) => {
+                    Location::Socket(starnuma_types::CoreId::new(core).socket(cores_per_socket))
+                }
+                None => {
+                    let s = SocketId::new(rr % num_sockets as u16);
+                    rr += 1;
+                    Location::Socket(s)
+                }
+            }
+        })
+    }
+
+    /// Number of pages in the footprint.
+    pub fn len(&self) -> u64 {
+        self.locations.len() as u64
+    }
+
+    /// Returns `true` if the footprint is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Current location of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the footprint.
+    pub fn location(&self, page: PageId) -> Location {
+        self.locations[page.pfn() as usize]
+    }
+
+    /// Location of a region (its first page; regions move as a unit under
+    /// the region policy, but the oracle baseline moves individual pages).
+    pub fn region_location(&self, region: RegionId) -> Location {
+        self.location(region.first_page())
+    }
+
+    /// Pages currently resident in the pool.
+    pub fn pool_pages(&self) -> u64 {
+        self.pool_pages
+    }
+
+    /// The pool capacity in pages.
+    pub fn pool_capacity_pages(&self) -> u64 {
+        self.pool_capacity_pages
+    }
+
+    /// Free pool capacity in pages.
+    pub fn pool_free_pages(&self) -> u64 {
+        self.pool_capacity_pages.saturating_sub(self.pool_pages)
+    }
+
+    /// Moves `page` to `to`, maintaining pool occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move would exceed the pool capacity (callers must make
+    /// space first, as Algorithm 1 does via victim eviction).
+    pub fn move_page(&mut self, page: PageId, to: Location) {
+        let from = self.location(page);
+        if from == to {
+            return;
+        }
+        if from.is_pool() {
+            self.pool_pages -= 1;
+        }
+        if to.is_pool() {
+            assert!(
+                self.pool_pages < self.pool_capacity_pages,
+                "pool capacity exceeded moving {page:?}"
+            );
+            self.pool_pages += 1;
+        }
+        self.locations[page.pfn() as usize] = to;
+    }
+
+    /// Moves all pages of `region` to `to`. Returns how many pages actually
+    /// moved (pages already at `to` do not count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move would exceed pool capacity.
+    pub fn move_region(&mut self, region: RegionId, to: Location) -> u64 {
+        let mut moved = 0;
+        for page in region.pages() {
+            if page.pfn() >= self.len() {
+                break; // last region may be partial
+            }
+            if self.location(page) != to {
+                self.move_page(page, to);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Number of regions covering the footprint.
+    pub fn num_regions(&self) -> usize {
+        (self.len() as usize).div_ceil(REGION_PAGES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starnuma_trace::{TraceGenerator, Workload};
+
+    fn socket(i: u16) -> Location {
+        Location::Socket(SocketId::new(i))
+    }
+
+    #[test]
+    fn from_fn_places_pages() {
+        let m = PageMap::from_fn(10, 5, |p| {
+            if p.pfn() < 3 {
+                Location::Pool
+            } else {
+                socket(0)
+            }
+        });
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.pool_pages(), 3);
+        assert_eq!(m.pool_free_pages(), 2);
+        assert_eq!(m.location(PageId::new(0)), Location::Pool);
+        assert_eq!(m.location(PageId::new(5)), socket(0));
+    }
+
+    #[test]
+    fn move_page_tracks_pool_occupancy() {
+        let mut m = PageMap::from_fn(4, 2, |_| socket(1));
+        m.move_page(PageId::new(0), Location::Pool);
+        assert_eq!(m.pool_pages(), 1);
+        m.move_page(PageId::new(0), socket(2));
+        assert_eq!(m.pool_pages(), 0);
+        // Self-move is a no-op.
+        m.move_page(PageId::new(0), socket(2));
+        assert_eq!(m.location(PageId::new(0)), socket(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "pool capacity exceeded")]
+    fn pool_capacity_enforced() {
+        let mut m = PageMap::from_fn(4, 1, |_| socket(0));
+        m.move_page(PageId::new(0), Location::Pool);
+        m.move_page(PageId::new(1), Location::Pool);
+    }
+
+    #[test]
+    fn move_region_moves_all_pages() {
+        let mut m = PageMap::from_fn(256, 300, |_| socket(0));
+        let moved = m.move_region(RegionId::new(1), Location::Pool);
+        assert_eq!(moved, 128);
+        assert_eq!(m.pool_pages(), 128);
+        for page in RegionId::new(1).pages() {
+            assert_eq!(m.location(page), Location::Pool);
+        }
+        assert_eq!(m.region_location(RegionId::new(1)), Location::Pool);
+        // Moving again is free.
+        assert_eq!(m.move_region(RegionId::new(1), Location::Pool), 0);
+    }
+
+    #[test]
+    fn move_partial_last_region() {
+        let mut m = PageMap::from_fn(130, 200, |_| socket(0));
+        assert_eq!(m.num_regions(), 2);
+        let moved = m.move_region(RegionId::new(1), Location::Pool);
+        assert_eq!(moved, 2, "last region has only 2 pages");
+    }
+
+    #[test]
+    fn first_touch_uses_earliest_access() {
+        let mut g = TraceGenerator::new(&Workload::Poa.profile(), 16, 4, 3);
+        let t = g.generate_phase(5_000);
+        let m = PageMap::first_touch(g.profile().footprint_pages, 1000, &t, 4, 16);
+        // POA pages are socket-private: first toucher *is* the owning socket.
+        for a in t.iter() {
+            let owner = g.page_sharers(a.addr.page())[0];
+            assert_eq!(m.location(a.addr.page()), Location::Socket(owner));
+        }
+        assert_eq!(m.pool_pages(), 0, "first touch never uses the pool");
+    }
+
+    #[test]
+    fn first_touch_spreads_untouched_pages() {
+        let t = PhaseTrace::default();
+        let m = PageMap::first_touch(32, 10, &t, 4, 16);
+        // Round-robin over 16 sockets: each socket gets 2 of 32 pages.
+        let mut counts = [0u32; 16];
+        for p in 0..32 {
+            if let Location::Socket(s) = m.location(PageId::new(p)) {
+                counts[s.index() as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 2));
+    }
+}

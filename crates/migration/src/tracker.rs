@@ -1,0 +1,231 @@
+//! The in-memory metadata region: per-region access trackers (§III-D1).
+
+use starnuma_types::{RegionId, SocketId};
+
+/// One region's tracker entry: a per-socket touched bitmap and an `i`-bit
+/// saturating access counter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TrackerEntry {
+    /// Bit `s` set ⇔ socket `s` accessed the region this phase.
+    pub socket_bits: u32,
+    /// Total region accesses this phase (saturating at `2^i − 1`).
+    pub accesses: u64,
+    /// Whether any store touched the region this phase (used by the §V-F
+    /// replication policy: only read-only regions are replica candidates).
+    pub written: bool,
+}
+
+impl TrackerEntry {
+    /// Number of sockets that touched the region this phase.
+    pub fn sharer_count(&self) -> u32 {
+        self.socket_bits.count_ones()
+    }
+
+    /// The sockets that touched the region, in index order.
+    pub fn sharers(&self, num_sockets: usize) -> Vec<SocketId> {
+        (0..num_sockets as u16)
+            .map(SocketId::new)
+            .filter(|s| self.socket_bits & (1 << s.index()) != 0)
+            .collect()
+    }
+}
+
+/// The physically contiguous metadata region holding one [`TrackerEntry`]
+/// per 512 KiB memory region, indexed `region id × entry size` (§III-D1).
+///
+/// A tracker design `T_i` stores an `i`-bit counter; `T_0` stores only the
+/// socket bitmap (enough to find widely shared regions, not to rank hotness).
+#[derive(Clone, Debug)]
+pub struct MetadataRegion {
+    entries: Vec<TrackerEntry>,
+    counter_max: u64,
+    num_sockets: usize,
+    /// Metadata updates performed (each is PTW traffic to memory).
+    updates: u64,
+}
+
+impl MetadataRegion {
+    /// Creates trackers for `num_regions` regions on a `num_sockets`-socket
+    /// system with `counter_bits`-bit counters (16 for `T_16`, 0 for `T_0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sockets` is zero or exceeds 32.
+    pub fn new(num_regions: usize, num_sockets: usize, counter_bits: u8) -> Self {
+        assert!(
+            (1..=32).contains(&num_sockets),
+            "socket count must be in 1..=32"
+        );
+        MetadataRegion {
+            entries: vec![TrackerEntry::default(); num_regions],
+            counter_max: if counter_bits == 0 {
+                0
+            } else {
+                (1u64 << counter_bits.min(63)) - 1
+            },
+            num_sockets,
+            updates: 0,
+        }
+    }
+
+    /// Number of tracker entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if there are no tracked regions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of sockets the bitmap covers.
+    pub fn num_sockets(&self) -> usize {
+        self.num_sockets
+    }
+
+    /// Records a PTW annex flush: `count` accesses by `socket` to `region`.
+    /// Under `T_0`, `count` is ignored but the socket bit is still set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` or `socket` is out of range.
+    pub fn record(&mut self, region: RegionId, socket: SocketId, count: u32) {
+        assert!(
+            (socket.index() as usize) < self.num_sockets,
+            "socket out of range"
+        );
+        let e = &mut self.entries[region.index() as usize];
+        e.socket_bits |= 1 << socket.index();
+        e.accesses = (e.accesses + u64::from(count)).min(self.counter_max);
+        self.updates += 1;
+    }
+
+    /// Marks `region` as written this phase (store observed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn mark_written(&mut self, region: RegionId) {
+        self.entries[region.index() as usize].written = true;
+    }
+
+    /// Reads a region's tracker.
+    pub fn entry(&self, region: RegionId) -> TrackerEntry {
+        self.entries[region.index() as usize]
+    }
+
+    /// Number of sockets that touched `region` this phase.
+    pub fn sharer_count(&self, region: RegionId) -> u32 {
+        self.entries[region.index() as usize].sharer_count()
+    }
+
+    /// Iterates over `(region, entry)` pairs in address order — the single
+    /// metadata-region pass of Algorithm 1.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, TrackerEntry)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (RegionId::new(i as u64), *e))
+    }
+
+    /// Total metadata updates recorded (PTW write traffic).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Clears all counters and bitmaps — the once-per-phase reset performed
+    /// by the metadata scan.
+    pub fn reset(&mut self) {
+        self.entries.fill(TrackerEntry::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = MetadataRegion::new(4, 16, 16);
+        let r = RegionId::new(2);
+        m.record(r, SocketId::new(3), 10);
+        m.record(r, SocketId::new(5), 7);
+        m.record(r, SocketId::new(3), 1);
+        let e = m.entry(r);
+        assert_eq!(e.accesses, 18);
+        assert_eq!(e.sharer_count(), 2);
+        assert_eq!(e.sharers(16), vec![SocketId::new(3), SocketId::new(5)]);
+        assert_eq!(m.updates(), 3);
+    }
+
+    #[test]
+    fn t16_counter_saturates() {
+        let mut m = MetadataRegion::new(1, 16, 16);
+        for _ in 0..3 {
+            m.record(RegionId::new(0), SocketId::new(0), 40_000);
+        }
+        assert_eq!(m.entry(RegionId::new(0)).accesses, 65_535);
+    }
+
+    #[test]
+    fn t0_tracks_only_bits() {
+        let mut m = MetadataRegion::new(1, 16, 0);
+        m.record(RegionId::new(0), SocketId::new(1), 500);
+        m.record(RegionId::new(0), SocketId::new(9), 500);
+        let e = m.entry(RegionId::new(0));
+        assert_eq!(e.accesses, 0);
+        assert_eq!(e.sharer_count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_entries() {
+        let mut m = MetadataRegion::new(2, 16, 16);
+        m.record(RegionId::new(1), SocketId::new(0), 5);
+        m.reset();
+        assert_eq!(m.entry(RegionId::new(1)), TrackerEntry::default());
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn iter_is_in_address_order() {
+        let mut m = MetadataRegion::new(3, 16, 16);
+        m.record(RegionId::new(2), SocketId::new(0), 1);
+        let v: Vec<_> = m.iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[2].0, RegionId::new(2));
+        assert_eq!(v[2].1.accesses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "socket out of range")]
+    fn rejects_out_of_range_socket() {
+        let mut m = MetadataRegion::new(1, 4, 16);
+        m.record(RegionId::new(0), SocketId::new(4), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Counter never exceeds its width's maximum, and sharer count never
+        /// exceeds the socket count.
+        #[test]
+        fn bounded_counters(
+            records in proptest::collection::vec((0u16..16, 0u32..100_000), 1..100),
+            bits in proptest::sample::select(vec![0u8, 4, 16]),
+        ) {
+            let mut m = MetadataRegion::new(1, 16, bits);
+            for (s, c) in records {
+                m.record(RegionId::new(0), SocketId::new(s), c);
+            }
+            let e = m.entry(RegionId::new(0));
+            let max = if bits == 0 { 0 } else { (1u64 << bits) - 1 };
+            prop_assert!(e.accesses <= max);
+            prop_assert!(e.sharer_count() <= 16);
+        }
+    }
+}

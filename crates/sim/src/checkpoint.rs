@@ -1,0 +1,229 @@
+//! Step-B checkpoints on disk.
+//!
+//! The paper's memory-trace simulation (step B) emits, per phase, a
+//! *checkpoint*: "the page-to-socket mapping at the end of each phase as
+//! well as a list of migrations that should occur in the upcoming phase"
+//! (§IV-A2), and each checkpoint seeds an independent timing simulation.
+//! This module persists exactly that pair, so step C runs can be farmed out
+//! or replayed without re-running step B.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  b"SNCK"; version u32
+//! pool_capacity_pages u64; footprint_pages u64
+//! footprint × u16 location (socket index, or 0xFFFF for the pool)
+//! move_count u64 × { page u64, from u16, to u16 }
+//! ```
+
+use std::io::{self, Read, Write};
+
+use starnuma_migration::{MigrationPlan, PageMap, PageMove};
+use starnuma_types::{Location, PageId, SocketId};
+
+const MAGIC: &[u8; 4] = b"SNCK";
+const VERSION: u32 = 1;
+const POOL_TAG: u16 = 0xFFFF;
+
+/// One step-B checkpoint: the phase-start placement plus the phase's
+/// migration plan.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Page placement at the start of the phase.
+    pub map: PageMap,
+    /// Migrations to model during the phase.
+    pub plan: MigrationPlan,
+}
+
+fn encode_location(l: Location) -> u16 {
+    match l {
+        Location::Pool => POOL_TAG,
+        Location::Socket(s) => s.index(),
+    }
+}
+
+fn decode_location(raw: u16) -> Location {
+    if raw == POOL_TAG {
+        Location::Pool
+    } else {
+        Location::Socket(SocketId::new(raw))
+    }
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint. Pass `&mut writer` to keep the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&self.map.pool_capacity_pages().to_le_bytes())?;
+        w.write_all(&self.map.len().to_le_bytes())?;
+        for pfn in 0..self.map.len() {
+            let loc = encode_location(self.map.location(PageId::new(pfn)));
+            w.write_all(&loc.to_le_bytes())?;
+        }
+        w.write_all(&(self.plan.moves.len() as u64).to_le_bytes())?;
+        for mv in &self.plan.moves {
+            w.write_all(&mv.page.pfn().to_le_bytes())?;
+            w.write_all(&encode_location(mv.from).to_le_bytes())?;
+            w.write_all(&encode_location(mv.to).to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a checkpoint written by [`Checkpoint::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on bad magic/version or an
+    /// inconsistent body, and propagates I/O errors.
+    pub fn read<R: Read>(mut r: R) -> io::Result<Checkpoint> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a StarNUMA checkpoint (bad magic)",
+            ));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported checkpoint version {version}"),
+            ));
+        }
+        let pool_capacity = read_u64(&mut r)?;
+        let footprint = read_u64(&mut r)?;
+        if footprint > 1 << 32 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible footprint",
+            ));
+        }
+        let mut locations = Vec::with_capacity(footprint as usize);
+        for _ in 0..footprint {
+            locations.push(decode_location(read_u16(&mut r)?));
+        }
+        let pool_used = locations.iter().filter(|l| l.is_pool()).count() as u64;
+        if pool_used > pool_capacity {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint exceeds its own pool capacity",
+            ));
+        }
+        let map = PageMap::from_fn(footprint, pool_capacity, |p| {
+            locations[p.pfn() as usize]
+        });
+        let move_count = read_u64(&mut r)? as usize;
+        let mut moves = Vec::with_capacity(move_count.min(1 << 24));
+        for _ in 0..move_count {
+            let page = PageId::new(read_u64(&mut r)?);
+            let from = decode_location(read_u16(&mut r)?);
+            let to = decode_location(read_u16(&mut r)?);
+            moves.push(PageMove { page, from, to });
+        }
+        Ok(Checkpoint {
+            map,
+            plan: MigrationPlan { moves },
+        })
+    }
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let map = PageMap::from_fn(512, 256, |p| {
+            if p.pfn() < 128 {
+                Location::Pool
+            } else {
+                Location::Socket(SocketId::new((p.pfn() % 16) as u16))
+            }
+        });
+        let plan = MigrationPlan {
+            moves: vec![
+                PageMove {
+                    page: PageId::new(200),
+                    from: Location::Socket(SocketId::new(8)),
+                    to: Location::Pool,
+                },
+                PageMove {
+                    page: PageId::new(5),
+                    from: Location::Pool,
+                    to: Location::Socket(SocketId::new(3)),
+                },
+            ],
+        };
+        Checkpoint { map, plan }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write(&mut buf).expect("write to Vec");
+        let back = Checkpoint::read(&buf[..]).expect("roundtrip");
+        assert_eq!(back.map.len(), ck.map.len());
+        assert_eq!(back.map.pool_capacity_pages(), 256);
+        assert_eq!(back.map.pool_pages(), 128);
+        for pfn in 0..ck.map.len() {
+            assert_eq!(
+                back.map.location(PageId::new(pfn)),
+                ck.map.location(PageId::new(pfn))
+            );
+        }
+        assert_eq!(back.plan, ck.plan);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(Checkpoint::read(&b"XXXX\x01\x00\x00\x00"[..]).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write(&mut buf).expect("write to Vec");
+        buf.truncate(buf.len() / 2);
+        assert!(Checkpoint::read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn over_capacity_body_rejected() {
+        // Hand-craft a body where more pages claim the pool than capacity.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SNCK");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes()); // capacity 1
+        buf.extend_from_slice(&2u64.to_le_bytes()); // 2 pages
+        buf.extend_from_slice(&0xFFFFu16.to_le_bytes()); // pool
+        buf.extend_from_slice(&0xFFFFu16.to_le_bytes()); // pool
+        buf.extend_from_slice(&0u64.to_le_bytes()); // no moves
+        let err = Checkpoint::read(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("pool capacity"));
+    }
+}

@@ -1,0 +1,428 @@
+//! The multi-step sampling pipeline of §IV-A: trace generation (step A),
+//! memory-trace simulation with migration decisions (step B), and timing
+//! simulation (step C), phase by phase.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use starnuma_cache::{Tlb, TlbConfig};
+use starnuma_migration::{
+    static_oracle_placement_with_sharers, MetadataRegion, MigrationCosts, OracleDynamicPolicy,
+    PageAccessCounts, PageMap, PolicyConfig, ReplicaMap, ThresholdPolicy,
+};
+use starnuma_types::Location;
+use starnuma_topology::Network;
+use starnuma_trace::{TraceGenerator, WorkloadProfile};
+use starnuma_types::{CoreId, REGION_PAGES};
+
+use crate::config::{MigrationMode, Modality, RunConfig};
+use crate::stats::{PhaseStats, RunResult};
+use crate::timing::TimingSim;
+
+/// Runs one complete experiment: a workload profile on a system
+/// configuration, through warm-up and all phases.
+///
+/// # Examples
+///
+/// ```
+/// use starnuma_sim::{MigrationMode, RunConfig, Runner};
+/// use starnuma_trace::Workload;
+///
+/// let config = RunConfig {
+///     phases: 1,
+///     instructions_per_phase: 10_000,
+///     warmup_instructions: 0,
+///     ..RunConfig::default()
+/// };
+/// let result = Runner::new(Workload::Poa.profile(), config).run();
+/// assert_eq!(result.pages_to_pool, 0); // POA never needs the pool
+/// ```
+pub struct Runner {
+    profile: WorkloadProfile,
+    config: RunConfig,
+}
+
+impl Runner {
+    /// Creates a runner for `profile` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system parameters are invalid, or if the migration mode
+    /// needs a pool the system does not have (`Threshold` works pool-less —
+    /// it degrades to socket-to-socket migration — but `pool_capacity_frac`
+    /// must be positive when a pool exists).
+    pub fn new(profile: WorkloadProfile, config: RunConfig) -> Self {
+        config.params.validate().expect("invalid system parameters");
+        Runner { profile, config }
+    }
+
+    /// Executes the run and aggregates the results.
+    pub fn run(self) -> RunResult {
+        let params = &self.config.params;
+        let n_sockets = params.num_sockets;
+        let cps = params.cores_per_socket;
+        let fp = self.profile.footprint_pages;
+        let pool_cap = self.config.pool_capacity_pages(fp);
+        let num_regions = (fp as usize).div_ceil(REGION_PAGES);
+
+        let mut gen = TraceGenerator::new(&self.profile, n_sockets, cps, self.config.seed);
+
+        // --- Warm-up trace (also used for first-touch placement). ---
+        let warmup_trace = if self.config.warmup_instructions > 0 {
+            Some(gen.generate_phase(self.config.warmup_instructions))
+        } else {
+            None
+        };
+
+        // --- Initial placement (step B bootstrap). ---
+        let mut map = match self.config.migration {
+            MigrationMode::StaticOracle => {
+                // Whole-run oracle: tally every phase with a cloned
+                // generator (deterministic), then lay out once. The sharing
+                // degree comes from the generator's ground truth — the §V-B
+                // oracle has a-priori knowledge of the access pattern.
+                let mut scout = gen.clone();
+                let mut counts: Option<PageAccessCounts> = None;
+                for _ in 0..self.config.phases {
+                    let t = scout.generate_phase(self.config.instructions_per_phase);
+                    let c = PageAccessCounts::from_trace(&t, fp, n_sockets, cps);
+                    counts = Some(match counts {
+                        None => c,
+                        Some(mut acc) => {
+                            acc.merge(&c);
+                            acc
+                        }
+                    });
+                }
+                static_oracle_placement_with_sharers(
+                    &counts.expect("at least one phase"),
+                    pool_cap,
+                    8,
+                    |p| scout.page_sharers(p).len() as u32,
+                )
+            }
+            _ => {
+                // True first-touch semantics: a page lives where its first
+                // toucher over the *whole run* (warm-up + all phases) sits —
+                // a page is not allocated until someone touches it.
+                let mut scout = gen.clone();
+                let mut combined = warmup_trace.clone().unwrap_or_default();
+                for _ in 0..self.config.phases {
+                    let t = scout.generate_phase(self.config.instructions_per_phase);
+                    if combined.per_core.is_empty() {
+                        combined = t;
+                    } else {
+                        // Later phases cannot steal first-touch from earlier
+                        // ones: offset icounts by a full phase ordering key.
+                        for (dst, src) in combined.per_core.iter_mut().zip(t.per_core) {
+                            let base = dst.last().map_or(0, |a| a.icount + 1);
+                            dst.extend(src.into_iter().map(|mut a| {
+                                a.icount += base;
+                                a
+                            }));
+                        }
+                    }
+                }
+                PageMap::first_touch(fp, pool_cap, &combined, cps, n_sockets)
+            }
+        };
+
+        // --- Hardware models. ---
+        let net = Network::new(params);
+        let mut sim = TimingSim::new(net, MigrationCosts::paper());
+        sim.set_light_cpi(self.profile.base_cpi());
+
+        // --- Tracking + policy state. ---
+        let (t0, tracking) = match self.config.migration {
+            MigrationMode::Threshold { t0 } => (t0, true),
+            _ => (false, false),
+        };
+        let mean_region_accesses = (self.config.instructions_per_phase as f64
+            * self.profile.mpki
+            / 1000.0
+            * (n_sockets * cps) as f64
+            / num_regions as f64) as u64;
+        let mut policy_cfg = if t0 {
+            PolicyConfig::t0(n_sockets as u32)
+        } else {
+            PolicyConfig::t16_scaled(mean_region_accesses.max(2))
+        };
+        policy_cfg.migration_limit_pages = self.config.migration_limit_pages;
+        let mut policy = ThresholdPolicy::new(policy_cfg, num_regions, params.has_pool);
+        let mut oracle = OracleDynamicPolicy::new(
+            ((self.config.instructions_per_phase as f64 * self.profile.mpki / 1000.0
+                * (n_sockets * cps) as f64)
+                / fp as f64)
+                .max(2.0) as u32,
+            self.config.migration_limit_pages,
+        );
+        // The TLB's *reach relative to the per-phase working set* is what
+        // drives the annex-flush rate: the paper's 1536-entry TLB churns
+        // constantly under billion-instruction phases. At the scaled-down
+        // window lengths the TLB must scale too, or counters never flush
+        // (no evictions) and the tracker starves.
+        let tlb_cfg = TlbConfig {
+            entries: 64,
+            counter_bits: if t0 { 0 } else { 16 },
+        };
+        let mut tlbs: Vec<Tlb> = (0..n_sockets * cps).map(|_| Tlb::new(tlb_cfg)).collect();
+        let mut meta = MetadataRegion::new(num_regions, n_sockets, tlb_cfg.counter_bits);
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x6d69_6772);
+
+        // --- Warm-up (populates LLCs/directory; no stats, no migration). ---
+        if let Some(w) = &warmup_trace {
+            sim.run_phase(
+                w,
+                &mut map,
+                &[],
+                self.profile.base_cpi(),
+                self.profile.mlp,
+                self.config.warmup_instructions,
+                self.config.modality,
+                false,
+            );
+            sim.reset_servers();
+        }
+
+        // --- Phase loop. ---
+        let mut replicas = self
+            .config
+            .replication
+            .map(|cfg| ReplicaMap::new(n_sockets, cfg));
+        let mut ablation_migrated = 0u64;
+        let mut ablation_to_pool = 0u64;
+        let mut phase_stats: Vec<PhaseStats> = Vec::with_capacity(self.config.phases);
+        for _phase in 0..self.config.phases {
+            let trace = gen.generate_phase(self.config.instructions_per_phase);
+
+            // Snapshot the phase-start placement before step B mutates the
+            // live map (the checkpoint of §IV-A2).
+            let snapshot = map.clone();
+
+            // Step B: tracking + migration decisions.
+            let plan = match self.config.migration {
+                MigrationMode::Threshold { .. } if tracking => {
+                    for tlb in &mut tlbs {
+                        tlb.set_markers();
+                    }
+                    for (core_idx, stream) in trace.per_core.iter().enumerate() {
+                        let socket = CoreId::new(core_idx as u32).socket(cps);
+                        let tlb = &mut tlbs[core_idx];
+                        for a in stream {
+                            for f in tlb.record_llc_miss(a.addr.page()) {
+                                if f.page.pfn() < fp {
+                                    meta.record(f.page.region(), socket, f.count);
+                                }
+                            }
+                        }
+                    }
+                    let plan = policy.decide(&meta, &mut map, &mut rng);
+                    meta.reset();
+                    plan
+                }
+                MigrationMode::OracleDynamic => {
+                    let counts = PageAccessCounts::from_trace(&trace, fp, n_sockets, cps);
+                    oracle.decide(&counts, &mut map)
+                }
+                MigrationMode::Ablation(ablation) => {
+                    // Perfect region-level tracking: only the selection
+                    // criterion is under test.
+                    let mut perfect = MetadataRegion::new(num_regions, n_sockets, 16);
+                    for a in trace.iter() {
+                        perfect.record(a.addr.page().region(), a.core.socket(cps), 1);
+                    }
+                    let plan = ablation.decide(
+                        &perfect,
+                        &mut map,
+                        self.config.migration_limit_pages,
+                        &mut rng,
+                    );
+                    ablation_migrated += plan.total();
+                    ablation_to_pool += plan.moves.iter().filter(|m| m.to == Location::Pool).count() as u64;
+                    plan
+                }
+                _ => Default::default(),
+            };
+
+            // §V-F replication decisions (perfect region tracking: which
+            // regions were read-only and widely shared this phase).
+            if let Some(reps) = &mut replicas {
+                let mut perfect = MetadataRegion::new(num_regions, n_sockets, 16);
+                for a in trace.iter() {
+                    let region = a.addr.page().region();
+                    perfect.record(region, a.core.socket(cps), 1);
+                    if a.kind.is_write() {
+                        perfect.mark_written(region);
+                    }
+                }
+                reps.decide(&perfect);
+            }
+
+            // Step C: timing simulation from the phase-start snapshot, with
+            // the first `modeled_migration_fraction` of the plan in flight.
+            let mut timing_map = snapshot;
+            // The initiator core spends 3 k cycles per migrated page; at the
+            // paper's scale whole plans fit inside a billion-cycle phase, but
+            // scaled-down windows cannot absorb them — so, exactly like the
+            // paper's timing windows (which cover the first 10 % of each
+            // phase, §IV-C), model the prefix of the plan whose initiator
+            // schedule fits in ~10 % of the phase, and let the rest take
+            // effect between phases.
+            let phase_cycles = self.config.instructions_per_phase as f64 * self.profile.base_cpi();
+            let budget_pages = (phase_cycles * 0.1 / 3_000.0).floor() as usize;
+            let modeled_count = ((plan.moves.len() as f64
+                * self.config.modeled_migration_fraction)
+                .round() as usize)
+                .min(plan.moves.len())
+                .min(budget_pages);
+            let stats = sim.run_phase_with_replicas(
+                &trace,
+                &mut timing_map,
+                &plan.moves[..modeled_count],
+                self.profile.base_cpi(),
+                self.profile.mlp,
+                self.config.instructions_per_phase,
+                self.config.modality,
+                true,
+                replicas.as_mut(),
+            );
+            // Mixed modality: regulate next phase's light injection rate by
+            // this phase's measured IPC (§IV-B).
+            if let Modality::Mixed { .. } = self.config.modality {
+                let ipc = stats.ipc();
+                if ipc > 0.0 {
+                    sim.set_light_cpi(1.0 / ipc);
+                }
+            }
+            sim.reset_servers();
+            phase_stats.push(stats);
+        }
+
+        let (migrated, to_pool) = match self.config.migration {
+            MigrationMode::Threshold { .. } => (policy.pages_migrated, policy.pages_to_pool),
+            MigrationMode::OracleDynamic => (oracle.pages_migrated, 0),
+            MigrationMode::Ablation(_) => (ablation_migrated, ablation_to_pool),
+            _ => (0, 0),
+        };
+        let mut result =
+            RunResult::from_phases(phase_stats, migrated, to_pool, sim.directory_stats());
+        if let Some(reps) = replicas {
+            result.replication = Some(reps.stats());
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starnuma_topology::SystemParams;
+    use starnuma_trace::Workload;
+
+    fn quick_config(migration: MigrationMode, starnuma: bool) -> RunConfig {
+        RunConfig {
+            params: if starnuma {
+                SystemParams::scaled_starnuma()
+            } else {
+                SystemParams::scaled_baseline()
+            },
+            phases: 2,
+            instructions_per_phase: 15_000,
+            warmup_instructions: 2_000,
+            migration,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn poa_never_migrates_and_stays_local() {
+        let r = Runner::new(
+            Workload::Poa.profile(),
+            quick_config(MigrationMode::Threshold { t0: false }, true),
+        )
+        .run();
+        assert_eq!(r.pages_to_pool, 0, "POA places nothing in the pool");
+        assert!(r.class_fracs[0] > 0.99, "POA accesses are local");
+    }
+
+    #[test]
+    fn starnuma_pools_bfs_pages() {
+        let r = Runner::new(
+            Workload::Bfs.profile(),
+            quick_config(MigrationMode::Threshold { t0: false }, true),
+        )
+        .run();
+        assert!(r.pages_migrated > 0);
+        assert!(
+            r.pool_migration_frac() > 0.5,
+            "most BFS migrations go to the pool (Table IV: 100%), got {}",
+            r.pool_migration_frac()
+        );
+        assert!(r.class_frac(starnuma_topology::AccessClass::Pool) > 0.0);
+    }
+
+    #[test]
+    fn baseline_oracle_never_pools() {
+        let r = Runner::new(
+            Workload::Bfs.profile(),
+            quick_config(MigrationMode::OracleDynamic, false),
+        )
+        .run();
+        assert_eq!(r.pages_to_pool, 0);
+        assert_eq!(r.class_frac(starnuma_topology::AccessClass::Pool), 0.0);
+        assert_eq!(r.class_frac(starnuma_topology::AccessClass::BtPool), 0.0);
+    }
+
+    #[test]
+    fn starnuma_beats_baseline_on_bfs() {
+        let base = Runner::new(
+            Workload::Bfs.profile(),
+            quick_config(MigrationMode::OracleDynamic, false),
+        )
+        .run();
+        let star = Runner::new(
+            Workload::Bfs.profile(),
+            quick_config(MigrationMode::Threshold { t0: false }, true),
+        )
+        .run();
+        assert!(
+            star.ipc > base.ipc,
+            "StarNUMA {} must beat baseline {}",
+            star.ipc,
+            base.ipc
+        );
+        assert!(star.amat_ns < base.amat_ns);
+    }
+
+    #[test]
+    fn static_oracle_runs_without_migrations() {
+        let r = Runner::new(
+            Workload::Tpcc.profile(),
+            quick_config(MigrationMode::StaticOracle, true),
+        )
+        .run();
+        assert_eq!(r.pages_migrated, 0);
+        assert!(r.ipc > 0.0);
+        assert!(
+            r.class_frac(starnuma_topology::AccessClass::Pool) > 0.0,
+            "static oracle uses the pool for shared pages"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = Runner::new(
+            Workload::Cc.profile(),
+            quick_config(MigrationMode::Threshold { t0: false }, true),
+        )
+        .run();
+        let b = Runner::new(
+            Workload::Cc.profile(),
+            quick_config(MigrationMode::Threshold { t0: false }, true),
+        )
+        .run();
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.amat_ns, b.amat_ns);
+        assert_eq!(a.pages_migrated, b.pages_migrated);
+    }
+}

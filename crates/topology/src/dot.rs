@@ -1,0 +1,125 @@
+//! GraphViz export of the machine topology.
+//!
+//! `dot -Tsvg topology.dot -o topology.svg` renders the Fig. 1 overview:
+//! chassis clusters with all-to-all UPI, the FLEX-ASIC NUMALink mesh, and
+//! (for StarNUMA) the CXL star to the memory pool.
+
+use core::fmt::Write as _;
+
+use starnuma_types::SocketId;
+
+use crate::params::SystemParams;
+
+/// Renders the topology as a GraphViz `dot` document.
+///
+/// # Examples
+///
+/// ```
+/// use starnuma_topology::{to_dot, SystemParams};
+/// let dot = to_dot(&SystemParams::scaled_starnuma());
+/// assert!(dot.starts_with("graph starnuma"));
+/// assert!(dot.contains("pool"));
+/// ```
+pub fn to_dot(params: &SystemParams) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph starnuma {{");
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    let _ = writeln!(
+        out,
+        "  node [shape=box, style=filled, fillcolor=lightsteelblue];"
+    );
+    // Chassis clusters with all-to-all UPI.
+    for c in 0..params.num_chassis() {
+        let _ = writeln!(out, "  subgraph cluster_c{c} {{");
+        let _ = writeln!(out, "    label=\"chassis {c}\";");
+        let base = c * 4;
+        for s in base..base + 4 {
+            let _ = writeln!(out, "    s{s} [label=\"S{s}\"];");
+        }
+        for a in base..base + 4 {
+            for b in (a + 1)..base + 4 {
+                let _ = writeln!(
+                    out,
+                    "    s{a} -- s{b} [color=gray40, label=\"UPI {:.1}G\"];",
+                    params.upi_bw.raw()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "    asic{c} [label=\"FLEX ASIC\", shape=hexagon, fillcolor=khaki];"
+        );
+        for s in base..base + 4 {
+            let _ = writeln!(out, "    s{s} -- asic{c} [color=gray70];");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // All-to-all NUMALinks between ASICs.
+    for a in 0..params.num_chassis() {
+        for b in (a + 1)..params.num_chassis() {
+            let _ = writeln!(
+                out,
+                "  asic{a} -- asic{b} [color=darkorange, penwidth=2, \
+                 label=\"NUMALink {:.1}G x{}\"];",
+                params.numalink_bw.raw(),
+                params.numalinks_per_chassis_pair
+            );
+        }
+    }
+    // The CXL star.
+    if params.has_pool {
+        let _ = writeln!(
+            out,
+            "  pool [label=\"CXL memory pool\\n{:.0} ns\", shape=cylinder, \
+             fillcolor=palegreen];",
+            (params.mem_base + params.cxl_one_way * 2.0).raw()
+        );
+        for s in SocketId::all(params.num_sockets) {
+            let _ = writeln!(
+                out,
+                "  s{} -- pool [color=forestgreen, style=dashed];",
+                s.index()
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starnuma_dot_has_all_elements() {
+        let dot = to_dot(&SystemParams::scaled_starnuma());
+        assert!(dot.starts_with("graph starnuma {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for s in 0..16 {
+            assert!(dot.contains(&format!("s{s} [label=\"S{s}\"]")));
+        }
+        for c in 0..4 {
+            assert!(dot.contains(&format!("cluster_c{c}")));
+        }
+        // 4 chassis pairwise = 6 NUMALink edges; 16 CXL spokes.
+        assert_eq!(dot.matches("NUMALink").count(), 6);
+        assert_eq!(dot.matches("-- pool").count(), 16);
+    }
+
+    #[test]
+    fn baseline_dot_has_no_pool() {
+        let dot = to_dot(&SystemParams::scaled_baseline());
+        assert!(!dot.contains("pool"));
+        // 4 sockets choose 2 = 6 UPI edges per chassis × 4 chassis.
+        assert_eq!(dot.matches("UPI").count(), 24);
+    }
+
+    #[test]
+    fn thirty_two_sockets_export() {
+        let params = SystemParams::scaled_starnuma().with_num_sockets(32).unwrap();
+        let dot = to_dot(&params);
+        assert_eq!(dot.matches("cluster_c").count(), 8);
+        // 8 chassis pairwise = 28 NUMALink edges.
+        assert_eq!(dot.matches("NUMALink").count(), 28);
+    }
+}

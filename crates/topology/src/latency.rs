@@ -1,0 +1,274 @@
+//! Analytic unloaded-latency model.
+//!
+//! Derived entirely from the paper's published numbers (§II-A, §III-B,
+//! §III-C, §V-A), which are mutually consistent under a simple decomposition:
+//!
+//! * every memory access pays `mem_base` = 80 ns (on-processor time, home
+//!   directory/memory-controller lookup, DRAM access);
+//! * each *network leg* pays a one-way latency: 0 within a socket, 25 ns per
+//!   intra-chassis UPI hop, 140 ns per inter-chassis traversal
+//!   (UPI + FLEX ASIC + NUMALink + FLEX ASIC + UPI), 50 ns per socket↔pool
+//!   CXL traversal;
+//! * a demand access is a roundtrip (two legs); a 3-hop block transfer is
+//!   three legs (R→H, H→O, O→R); a 4-hop pool transfer is two CXL roundtrips.
+//!
+//! This reproduces: 80/130/360/180 ns unloaded accesses, the 333 ns average
+//! 3-hop and 200 ns average 4-hop transfer (§III-C), and the 413 ns/280 ns
+//! `BT` accounting values of §V-A (transfer + 80 ns memory/directory).
+
+use starnuma_types::{Location, Nanos, SocketId};
+
+use crate::params::SystemParams;
+
+/// The Fig. 3 component-by-component CXL memory-pool access latency
+/// breakdown (roundtrip overheads, summing to the 100 ns pool penalty).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CxlLatencyBreakdown {
+    /// The processor-side CXL port (25 ns roundtrip).
+    pub cpu_port: Nanos,
+    /// The MHD-side CXL port (25 ns roundtrip).
+    pub mhd_port: Nanos,
+    /// One retimer between host and MHD (20 ns roundtrip).
+    pub retimer: Nanos,
+    /// Flight time on the link (5 ns per direction).
+    pub flight: Nanos,
+    /// MHD-internal network, arbitration, and coherence directory, including
+    /// the conservative 5 ns coherence adder over Pond (20 ns total).
+    pub mhd_internal: Nanos,
+}
+
+impl CxlLatencyBreakdown {
+    /// The paper's Fig. 3 values.
+    pub fn paper() -> Self {
+        CxlLatencyBreakdown {
+            cpu_port: Nanos::new(25.0),
+            mhd_port: Nanos::new(25.0),
+            retimer: Nanos::new(20.0),
+            flight: Nanos::new(10.0),
+            mhd_internal: Nanos::new(20.0),
+        }
+    }
+
+    /// Total roundtrip overhead of a pool access over a local access
+    /// (100 ns in the paper).
+    pub fn total(&self) -> Nanos {
+        self.cpu_port + self.mhd_port + self.retimer + self.flight + self.mhd_internal
+    }
+
+    /// End-to-end unloaded pool access latency: overhead plus on-processor
+    /// time and DRAM access (180 ns in the paper).
+    pub fn end_to_end(&self, mem_base: Nanos) -> Nanos {
+        self.total() + mem_base
+    }
+}
+
+impl Default for CxlLatencyBreakdown {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Unloaded-latency calculator for a given [`SystemParams`].
+///
+/// # Examples
+///
+/// ```
+/// use starnuma_topology::{LatencyModel, SystemParams};
+/// use starnuma_types::{Location, SocketId};
+///
+/// let m = LatencyModel::new(SystemParams::scaled_starnuma());
+/// let s0 = SocketId::new(0);
+/// assert_eq!(m.demand_access(s0, Location::Socket(s0)).raw(), 80.0);
+/// assert_eq!(m.demand_access(s0, Location::Socket(SocketId::new(4))).raw(), 360.0);
+/// assert_eq!(m.demand_access(s0, Location::Pool).raw(), 180.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    params: SystemParams,
+}
+
+impl LatencyModel {
+    /// Creates a latency model for the given parameters.
+    pub fn new(params: SystemParams) -> Self {
+        LatencyModel { params }
+    }
+
+    /// Returns the underlying parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// One-way network latency between two memory-system endpoints.
+    ///
+    /// Zero within a socket; 25 ns between sockets of the same chassis;
+    /// 140 ns across chassis; `cxl_one_way` between any socket and the pool.
+    pub fn one_way(&self, a: Location, b: Location) -> Nanos {
+        match (a, b) {
+            (Location::Pool, Location::Pool) => Nanos::ZERO,
+            (Location::Pool, Location::Socket(_)) | (Location::Socket(_), Location::Pool) => {
+                self.params.cxl_one_way
+            }
+            (Location::Socket(x), Location::Socket(y)) => {
+                if x == y {
+                    Nanos::ZERO
+                } else if x.same_chassis(y) {
+                    self.params.upi_one_way
+                } else {
+                    self.params.inter_chassis_one_way
+                }
+            }
+        }
+    }
+
+    /// Unloaded end-to-end latency of a demand memory access from
+    /// `requester` to memory at `target`: request leg + memory + response leg.
+    pub fn demand_access(&self, requester: SocketId, target: Location) -> Nanos {
+        let leg = self.one_way(Location::Socket(requester), target);
+        self.params.mem_base + leg * 2.0
+    }
+
+    /// Unloaded latency of a 3-hop cache-to-cache transfer
+    /// R→H→O→R (home is a socket, §III-C), network legs only.
+    pub fn three_hop_transfer(&self, r: SocketId, h: SocketId, o: SocketId) -> Nanos {
+        self.one_way(Location::Socket(r), Location::Socket(h))
+            + self.one_way(Location::Socket(h), Location::Socket(o))
+            + self.one_way(Location::Socket(o), Location::Socket(r))
+    }
+
+    /// Unloaded latency of a 4-hop transfer via the pool R→H→O→H→R
+    /// (home is the pool, §III-C): two CXL roundtrips, network legs only.
+    pub fn four_hop_pool_transfer(&self) -> Nanos {
+        self.params.cxl_one_way * 4.0
+    }
+
+    /// Average unloaded 3-hop transfer latency over all (R, H, O) socket
+    /// combinations, as quoted in §III-C (≈333 ns on the 16-socket system).
+    pub fn average_three_hop_transfer(&self) -> Nanos {
+        let n = self.params.num_sockets as u16;
+        let mut total = 0.0;
+        let mut count = 0u64;
+        for r in 0..n {
+            for h in 0..n {
+                for o in 0..n {
+                    total += self
+                        .three_hop_transfer(SocketId::new(r), SocketId::new(h), SocketId::new(o))
+                        .raw();
+                    count += 1;
+                }
+            }
+        }
+        Nanos::new(total / count as f64)
+    }
+
+    /// The §V-A accounting latency of a socket-home block transfer
+    /// (`BT_Socket`): average 3-hop transfer plus 80 ns for memory access and
+    /// directory lookup (413 ns in the paper).
+    pub fn bt_socket_accounting(&self) -> Nanos {
+        self.average_three_hop_transfer() + self.params.mem_base
+    }
+
+    /// The §V-A accounting latency of a pool-home block transfer
+    /// (`BT_Pool`): 4-hop pool transfer plus 80 ns (280 ns in the paper).
+    pub fn bt_pool_accounting(&self) -> Nanos {
+        self.four_hop_pool_transfer() + self.params.mem_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(SystemParams::scaled_starnuma())
+    }
+
+    #[test]
+    fn fig3_breakdown_sums_to_paper_values() {
+        let b = CxlLatencyBreakdown::paper();
+        assert_eq!(b.total().raw(), 100.0);
+        assert_eq!(b.end_to_end(Nanos::new(80.0)).raw(), 180.0);
+    }
+
+    #[test]
+    fn unloaded_access_latencies_match_paper() {
+        let m = model();
+        let s0 = SocketId::new(0);
+        assert_eq!(m.demand_access(s0, Location::Socket(s0)).raw(), 80.0);
+        assert_eq!(
+            m.demand_access(s0, Location::Socket(SocketId::new(1))).raw(),
+            130.0
+        );
+        assert_eq!(
+            m.demand_access(s0, Location::Socket(SocketId::new(4))).raw(),
+            360.0
+        );
+        assert_eq!(m.demand_access(s0, Location::Pool).raw(), 180.0);
+    }
+
+    #[test]
+    fn average_three_hop_is_paper_333ns() {
+        // §III-C: "the average (unloaded) 3-hop cache block transfer latency
+        // is 333ns". Our decomposition gives 329 ns over all 16³ combos.
+        let avg = model().average_three_hop_transfer().raw();
+        assert!((avg - 333.0).abs() < 5.0, "got {avg}");
+    }
+
+    #[test]
+    fn four_hop_pool_transfer_is_200ns() {
+        assert_eq!(model().four_hop_pool_transfer().raw(), 200.0);
+    }
+
+    #[test]
+    fn bt_accounting_values() {
+        let m = model();
+        // §V-A: 413 ns for BT_Socket, 280 ns for BT_Pool.
+        assert!((m.bt_socket_accounting().raw() - 413.0).abs() < 5.0);
+        assert_eq!(m.bt_pool_accounting().raw(), 280.0);
+    }
+
+    #[test]
+    fn one_way_is_symmetric() {
+        let m = model();
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                let x = Location::Socket(SocketId::new(a));
+                let y = Location::Socket(SocketId::new(b));
+                assert_eq!(m.one_way(x, y), m.one_way(y, x));
+            }
+            let s = Location::Socket(SocketId::new(a));
+            assert_eq!(m.one_way(s, Location::Pool), m.one_way(Location::Pool, s));
+        }
+        assert_eq!(m.one_way(Location::Pool, Location::Pool), Nanos::ZERO);
+    }
+
+    #[test]
+    fn pool_is_faster_than_two_hop_but_slower_than_one_hop() {
+        let m = model();
+        let s0 = SocketId::new(0);
+        let pool = m.demand_access(s0, Location::Pool).raw();
+        let one_hop = m.demand_access(s0, Location::Socket(SocketId::new(1))).raw();
+        let two_hop = m.demand_access(s0, Location::Socket(SocketId::new(12))).raw();
+        assert!(pool > one_hop, "pool is 40% slower than 1-hop (§II-C)");
+        assert!(pool * 2.0 == two_hop, "pool is 2x faster than 2-hop (§II-C)");
+    }
+
+    #[test]
+    fn cxl_switch_variant_still_beats_two_hop() {
+        // §V-C: 270 ns pool access is still 25 % lower than a 2-hop access.
+        let m = LatencyModel::new(SystemParams::scaled_starnuma().with_cxl_switch());
+        let pool = m.demand_access(SocketId::new(0), Location::Pool).raw();
+        assert_eq!(pool, 270.0);
+        assert!(pool < 360.0 * 0.76);
+    }
+
+    #[test]
+    fn section_2c_amat_example() {
+        // §II-C worked example: 64 % local + 36 % shared-by-all accesses
+        // (25 % intra-chassis at 130 ns, 75 % inter-chassis at 360 ns)
+        // → AMAT 160 ns; with the pool hosting those pages → 112 ns.
+        let base_amat: f64 = 0.64 * 80.0 + 0.36 * (0.25 * 130.0 + 0.75 * 360.0);
+        assert!((base_amat - 160.0).abs() < 1.0, "got {base_amat}");
+        let pool_amat: f64 = 0.64 * 80.0 + 0.36 * (0.25 * 130.0 + 0.75 * 180.0);
+        assert!((pool_amat - 112.0).abs() < 4.0, "got {pool_amat}");
+    }
+}

@@ -1,0 +1,446 @@
+//! The directed-link database and routing.
+//!
+//! Every physical channel of Fig. 1 is represented as a *directed link* with
+//! its own per-direction bandwidth, so the simulator can model each direction
+//! as an independent FIFO server and capture queuing delays:
+//!
+//! * intra-chassis, per ordered socket pair: one direct UPI link;
+//! * per socket: an uplink and a downlink UPI connection to the chassis'
+//!   FLEX ASIC complex (used by inter-chassis traffic);
+//! * per ordered chassis pair: the aggregated NUMALinks (two FLEX ASICs per
+//!   chassis give four NUMALinks per chassis pair);
+//! * per socket (StarNUMA only): a CXL uplink and downlink to the pool.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use starnuma_types::{ChassisId, Location, Nanos, SocketId};
+
+use crate::latency::LatencyModel;
+use crate::params::SystemParams;
+
+/// Index of one directed link in a [`Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Returns the raw index (dense, `0..Network::link_count()`).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The physical technology of a link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LinkKind {
+    /// An intra-chassis UPI link (socket↔socket or socket↔FLEX ASIC).
+    Upi,
+    /// An inter-chassis NUMALink bundle between two FLEX ASIC complexes.
+    NumaLink,
+    /// A CXL link between a socket and the memory pool's MHD.
+    Cxl,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::Upi => f.write_str("UPI"),
+            LinkKind::NumaLink => f.write_str("NUMALink"),
+            LinkKind::Cxl => f.write_str("CXL"),
+        }
+    }
+}
+
+/// Classification of a demand memory access by its target distance, matching
+/// the access-type breakdown of Fig. 8c.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessClass {
+    /// Local DRAM of the requesting socket (80 ns unloaded).
+    Local,
+    /// DRAM of another socket in the same chassis (130 ns unloaded).
+    OneHop,
+    /// DRAM of a socket in a different chassis (360 ns unloaded).
+    TwoHop,
+    /// The CXL memory pool (180 ns unloaded).
+    Pool,
+    /// Coherence-triggered 3-hop socket-to-socket block transfer (§III-C).
+    BtSocket,
+    /// Coherence-triggered 4-hop block transfer via the pool (§III-C).
+    BtPool,
+}
+
+impl AccessClass {
+    /// All classes, in Fig. 8c presentation order.
+    pub const ALL: [AccessClass; 6] = [
+        AccessClass::Local,
+        AccessClass::OneHop,
+        AccessClass::TwoHop,
+        AccessClass::Pool,
+        AccessClass::BtSocket,
+        AccessClass::BtPool,
+    ];
+
+    /// Short label used in harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessClass::Local => "Local",
+            AccessClass::OneHop => "1-hop",
+            AccessClass::TwoHop => "2-hop",
+            AccessClass::Pool => "Pool",
+            AccessClass::BtSocket => "BT_Socket",
+            AccessClass::BtPool => "BT_Pool",
+        }
+    }
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The sequence of links traversed by a demand access, with its unloaded
+/// latency and classification.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Route {
+    /// Links traversed by the request (requester → memory).
+    pub request: Vec<LinkId>,
+    /// Links traversed by the response (memory → requester).
+    pub response: Vec<LinkId>,
+    /// End-to-end unloaded latency (includes `mem_base`).
+    pub unloaded_total: Nanos,
+    /// Access classification for statistics.
+    pub class: AccessClass,
+}
+
+/// The link database and router for one system configuration.
+///
+/// # Examples
+///
+/// ```
+/// use starnuma_topology::{Network, SystemParams};
+/// use starnuma_types::{Location, SocketId};
+///
+/// let net = Network::new(&SystemParams::scaled_starnuma());
+/// let r = net.route(SocketId::new(0), Location::Socket(SocketId::new(5)));
+/// assert_eq!(r.request.len(), 3); // UPI uplink, NUMALink, UPI downlink
+/// assert_eq!(r.unloaded_total.raw(), 360.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    latency: LatencyModel,
+    kinds: Vec<LinkKind>,
+    bandwidths: Vec<f64>,
+    upi_direct: HashMap<(SocketId, SocketId), LinkId>,
+    upi_uplink: Vec<LinkId>,
+    upi_downlink: Vec<LinkId>,
+    numalink: HashMap<(ChassisId, ChassisId), LinkId>,
+    cxl_up: Vec<LinkId>,
+    cxl_down: Vec<LinkId>,
+}
+
+impl Network {
+    /// Builds the link database for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`SystemParams::validate`].
+    pub fn new(params: &SystemParams) -> Self {
+        params.validate().expect("invalid system parameters");
+        let mut net = Network {
+            latency: LatencyModel::new(params.clone()),
+            kinds: Vec::new(),
+            bandwidths: Vec::new(),
+            upi_direct: HashMap::new(),
+            upi_uplink: Vec::new(),
+            upi_downlink: Vec::new(),
+            numalink: HashMap::new(),
+            cxl_up: Vec::new(),
+            cxl_down: Vec::new(),
+        };
+        let n = params.num_sockets;
+        // Direct intra-chassis UPI links (each direction its own server).
+        for s in SocketId::all(n) {
+            for t in SocketId::all(n) {
+                if s != t && s.same_chassis(t) {
+                    let id = net.push(LinkKind::Upi, params.upi_bw.raw());
+                    net.upi_direct.insert((s, t), id);
+                }
+            }
+        }
+        // Socket ↔ FLEX ASIC UPI connections.
+        for _s in SocketId::all(n) {
+            let up = net.push(LinkKind::Upi, params.upi_bw.raw());
+            net.upi_uplink.push(up);
+        }
+        for _s in SocketId::all(n) {
+            let down = net.push(LinkKind::Upi, params.upi_bw.raw());
+            net.upi_downlink.push(down);
+        }
+        // Aggregated NUMALinks per ordered chassis pair.
+        let numalink_bw = params.numalink_bw.raw() * params.numalinks_per_chassis_pair as f64;
+        let chassis = params.num_chassis() as u8;
+        for c in 0..chassis {
+            for d in 0..chassis {
+                if c != d {
+                    let id = net.push(LinkKind::NumaLink, numalink_bw);
+                    net.numalink.insert((ChassisId::new(c), ChassisId::new(d)), id);
+                }
+            }
+        }
+        // CXL star links (StarNUMA only).
+        if params.has_pool {
+            for _s in SocketId::all(n) {
+                let id = net.push(LinkKind::Cxl, params.cxl_bw.raw());
+                net.cxl_up.push(id);
+            }
+            for _s in SocketId::all(n) {
+                let id = net.push(LinkKind::Cxl, params.cxl_bw.raw());
+                net.cxl_down.push(id);
+            }
+        }
+        net
+    }
+
+    fn push(&mut self, kind: LinkKind, bw: f64) -> LinkId {
+        let id = LinkId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.bandwidths.push(bw);
+        id
+    }
+
+    /// Returns the system parameters this network was built from.
+    pub fn params(&self) -> &SystemParams {
+        self.latency.params()
+    }
+
+    /// Returns the latency model for this network.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Total number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The technology of a link.
+    pub fn link_kind(&self, id: LinkId) -> LinkKind {
+        self.kinds[id.index()]
+    }
+
+    /// Per-direction bandwidth of a link in GB/s.
+    pub fn link_bandwidth_gbps(&self, id: LinkId) -> f64 {
+        self.bandwidths[id.index()]
+    }
+
+    /// Iterates over all link ids, in dense index order
+    /// (`LinkId::index()` runs `0..link_count()`).
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.kinds.len() as u32).map(LinkId)
+    }
+
+    /// The links traversed by one one-way message from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool endpoint is used on a configuration without a pool.
+    pub fn leg(&self, src: Location, dst: Location) -> Vec<LinkId> {
+        match (src, dst) {
+            (Location::Pool, Location::Pool) => Vec::new(),
+            (Location::Socket(s), Location::Pool) => {
+                assert!(!self.cxl_up.is_empty(), "no memory pool in this configuration");
+                vec![self.cxl_up[s.index() as usize]]
+            }
+            (Location::Pool, Location::Socket(s)) => {
+                assert!(!self.cxl_down.is_empty(), "no memory pool in this configuration");
+                vec![self.cxl_down[s.index() as usize]]
+            }
+            (Location::Socket(s), Location::Socket(t)) => {
+                if s == t {
+                    Vec::new()
+                } else if s.same_chassis(t) {
+                    vec![self.upi_direct[&(s, t)]]
+                } else {
+                    vec![
+                        self.upi_uplink[s.index() as usize],
+                        self.numalink[&(s.chassis(), t.chassis())],
+                        self.upi_downlink[t.index() as usize],
+                    ]
+                }
+            }
+        }
+    }
+
+    /// Classifies a demand access from `requester` to memory at `target`.
+    pub fn classify(&self, requester: SocketId, target: Location) -> AccessClass {
+        match target {
+            Location::Pool => AccessClass::Pool,
+            Location::Socket(t) => {
+                if requester == t {
+                    AccessClass::Local
+                } else if requester.same_chassis(t) {
+                    AccessClass::OneHop
+                } else {
+                    AccessClass::TwoHop
+                }
+            }
+        }
+    }
+
+    /// Computes the full route of a demand access from `requester` to memory
+    /// at `target`.
+    pub fn route(&self, requester: SocketId, target: Location) -> Route {
+        let src = Location::Socket(requester);
+        Route {
+            request: self.leg(src, target),
+            response: self.leg(target, src),
+            unloaded_total: self.latency.demand_access(requester, target),
+            class: self.classify(requester, target),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn starnuma_net() -> Network {
+        Network::new(&SystemParams::scaled_starnuma())
+    }
+
+    #[test]
+    fn link_counts_16_socket() {
+        let net = starnuma_net();
+        // Per chassis: 4×3 = 12 directed intra-chassis UPI; ×4 chassis = 48.
+        // Uplinks 16 + downlinks 16 = 32 socket↔ASIC links.
+        // NUMALink: 4×3 = 12 ordered chassis pairs.
+        // CXL: 16 up + 16 down = 32.
+        assert_eq!(net.link_count(), 48 + 32 + 12 + 32);
+        let baseline = Network::new(&SystemParams::scaled_baseline());
+        assert_eq!(baseline.link_count(), 48 + 32 + 12);
+    }
+
+    #[test]
+    fn local_leg_is_empty() {
+        let net = starnuma_net();
+        let s = Location::Socket(SocketId::new(3));
+        assert!(net.leg(s, s).is_empty());
+        assert!(net.leg(Location::Pool, Location::Pool).is_empty());
+    }
+
+    #[test]
+    fn intra_chassis_leg_is_one_upi() {
+        let net = starnuma_net();
+        let leg = net.leg(
+            Location::Socket(SocketId::new(0)),
+            Location::Socket(SocketId::new(2)),
+        );
+        assert_eq!(leg.len(), 1);
+        assert_eq!(net.link_kind(leg[0]), LinkKind::Upi);
+    }
+
+    #[test]
+    fn inter_chassis_leg_is_three_links() {
+        let net = starnuma_net();
+        let leg = net.leg(
+            Location::Socket(SocketId::new(1)),
+            Location::Socket(SocketId::new(9)),
+        );
+        assert_eq!(leg.len(), 3);
+        assert_eq!(net.link_kind(leg[0]), LinkKind::Upi);
+        assert_eq!(net.link_kind(leg[1]), LinkKind::NumaLink);
+        assert_eq!(net.link_kind(leg[2]), LinkKind::Upi);
+    }
+
+    #[test]
+    fn pool_leg_is_one_cxl() {
+        let net = starnuma_net();
+        let up = net.leg(Location::Socket(SocketId::new(7)), Location::Pool);
+        let down = net.leg(Location::Pool, Location::Socket(SocketId::new(7)));
+        assert_eq!(up.len(), 1);
+        assert_eq!(down.len(), 1);
+        assert_ne!(up[0], down[0], "directions are independent servers");
+        assert_eq!(net.link_kind(up[0]), LinkKind::Cxl);
+    }
+
+    #[test]
+    #[should_panic(expected = "no memory pool")]
+    fn baseline_rejects_pool_routes() {
+        let net = Network::new(&SystemParams::scaled_baseline());
+        let _ = net.leg(Location::Socket(SocketId::new(0)), Location::Pool);
+    }
+
+    #[test]
+    fn route_classification() {
+        let net = starnuma_net();
+        let s0 = SocketId::new(0);
+        assert_eq!(net.classify(s0, Location::Socket(s0)), AccessClass::Local);
+        assert_eq!(
+            net.classify(s0, Location::Socket(SocketId::new(3))),
+            AccessClass::OneHop
+        );
+        assert_eq!(
+            net.classify(s0, Location::Socket(SocketId::new(12))),
+            AccessClass::TwoHop
+        );
+        assert_eq!(net.classify(s0, Location::Pool), AccessClass::Pool);
+    }
+
+    #[test]
+    fn route_latency_matches_model() {
+        let net = starnuma_net();
+        let r = net.route(SocketId::new(0), Location::Socket(SocketId::new(8)));
+        assert_eq!(r.unloaded_total.raw(), 360.0);
+        assert_eq!(r.request.len(), 3);
+        assert_eq!(r.response.len(), 3);
+        let p = net.route(SocketId::new(0), Location::Pool);
+        assert_eq!(p.unloaded_total.raw(), 180.0);
+        assert_eq!(p.class, AccessClass::Pool);
+    }
+
+    #[test]
+    fn numalink_bandwidth_is_aggregated() {
+        let net = starnuma_net();
+        let leg = net.leg(
+            Location::Socket(SocketId::new(0)),
+            Location::Socket(SocketId::new(15)),
+        );
+        // Scaled NUMALink: 3 GB/s × 4 links per chassis pair = 12 GB/s.
+        assert_eq!(net.link_bandwidth_gbps(leg[1]), 12.0);
+        assert_eq!(net.link_bandwidth_gbps(leg[0]), 3.0);
+    }
+
+    #[test]
+    fn distinct_directions_distinct_links() {
+        let net = starnuma_net();
+        let ab = net.leg(
+            Location::Socket(SocketId::new(0)),
+            Location::Socket(SocketId::new(1)),
+        );
+        let ba = net.leg(
+            Location::Socket(SocketId::new(1)),
+            Location::Socket(SocketId::new(0)),
+        );
+        assert_ne!(ab[0], ba[0]);
+    }
+
+    #[test]
+    fn thirty_two_socket_network_builds() {
+        let params = SystemParams::scaled_starnuma().with_num_sockets(32).unwrap();
+        let net = Network::new(&params);
+        let r = net.route(SocketId::new(0), Location::Socket(SocketId::new(31)));
+        assert_eq!(r.class, AccessClass::TwoHop);
+        assert_eq!(r.unloaded_total.raw(), 360.0);
+        // 8 chassis: 8×12 intra + 2×32 asic + 8×7 numalink + 2×32 cxl.
+        assert_eq!(net.link_count(), 96 + 64 + 56 + 64);
+    }
+
+    #[test]
+    fn access_class_labels() {
+        for c in AccessClass::ALL {
+            assert!(!c.label().is_empty());
+        }
+        assert_eq!(AccessClass::Pool.to_string(), "Pool");
+    }
+}

@@ -1,0 +1,593 @@
+//! The eight workload profiles, calibrated to the paper's characterization.
+
+use starnuma_types::RwMix;
+
+/// Inclusive range of sharer counts for a page class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SharerCount {
+    /// Minimum sockets sharing a page of this class.
+    pub min: u16,
+    /// Maximum sockets sharing a page of this class.
+    pub max: u16,
+}
+
+impl SharerCount {
+    /// A fixed sharer count.
+    pub const fn exactly(n: u16) -> Self {
+        SharerCount { min: n, max: n }
+    }
+
+    /// An inclusive range of sharer counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or exceeds `max`.
+    pub fn range(min: u16, max: u16) -> Self {
+        assert!(min >= 1 && min <= max, "invalid sharer range {min}..={max}");
+        SharerCount { min, max }
+    }
+}
+
+/// One class of pages with a common sharing behavior: a fraction of the
+/// footprint, the fraction of all accesses it attracts, how many sockets
+/// share each page, the read/write mix, and whether sharers are clustered
+/// within one chassis (graph partitions, warehouse locality) or spread
+/// across the machine (vagabond data).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PageClass {
+    /// Fraction of the footprint's pages in this class.
+    pub page_frac: f64,
+    /// Fraction of all memory accesses that target this class.
+    pub access_frac: f64,
+    /// Number of sockets sharing each page of the class.
+    pub sharers: SharerCount,
+    /// Read/write mixture of accesses to this class.
+    pub rw: RwMix,
+    /// If `true` (and the sharer count fits), sharers are chosen within a
+    /// single chassis, so an intelligent NUMA policy could contain the
+    /// traffic to intra-chassis links.
+    pub within_chassis: bool,
+}
+
+/// The workloads evaluated in the paper (§IV-E).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Workload {
+    /// GAP Single-Source Shortest Paths: the most memory-intensive graph
+    /// kernel (LLC MPKI 73), heavily shared frontier and distance arrays.
+    Sssp,
+    /// GAP Breadth-First Search: bandwidth-bound, Fig. 2's exemplar of
+    /// vagabond pages (2 % of pages draw 36 % of accesses, 16 sharers).
+    Bfs,
+    /// GAP Connected Components.
+    Cc,
+    /// GAP Triangle Counting: compute-bound, read-only shared graph
+    /// (Fig. 13: 60 % of the dataset touched by all 16 sockets).
+    Tc,
+    /// Masstree key-value store, 100 GB dataset, uniform key popularity,
+    /// 50/50 read/write mix.
+    Masstree,
+    /// TPC-C on the Silo in-memory DBMS, 64 warehouses: strong warehouse
+    /// affinity plus globally shared tables.
+    Tpcc,
+    /// GenomicsBench FM-Index: compute-bound, read-mostly index with
+    /// moderate sharing (only 47 % of its migrations go to the pool).
+    Fmi,
+    /// GenomicsBench Partial-Order Alignment: perfectly NUMA-partitioned;
+    /// first-touch placement alone suffices (speedup 1.0× in the paper).
+    Poa,
+}
+
+impl Workload {
+    /// All eight workloads in the paper's presentation order.
+    pub const ALL: [Workload; 8] = [
+        Workload::Sssp,
+        Workload::Bfs,
+        Workload::Cc,
+        Workload::Tc,
+        Workload::Masstree,
+        Workload::Tpcc,
+        Workload::Fmi,
+        Workload::Poa,
+    ];
+
+    /// The workload's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Sssp => "SSSP",
+            Workload::Bfs => "BFS",
+            Workload::Cc => "CC",
+            Workload::Tc => "TC",
+            Workload::Masstree => "Masstree",
+            Workload::Tpcc => "TPCC",
+            Workload::Fmi => "FMI",
+            Workload::Poa => "POA",
+        }
+    }
+
+    /// Builds this workload's profile.
+    pub fn profile(self) -> WorkloadProfile {
+        let rw = RwMix::new;
+        match self {
+            // Table III: IPC 0.06 (0.56 single-socket), MPKI 73.
+            // Skew: frontier/distance arrays of high-degree vertices.
+            Workload::Sssp => skewed(0.2, 0.75, WorkloadProfile::new(
+                self,
+                32_768,
+                73.0,
+                0.56,
+                12,
+                vec![
+                    PageClass { page_frac: 0.15, access_frac: 0.06, sharers: SharerCount::exactly(1), rw: rw(0.65), within_chassis: true },
+                    PageClass { page_frac: 0.55, access_frac: 0.12, sharers: SharerCount::range(2, 4), rw: rw(0.65), within_chassis: true },
+                    PageClass { page_frac: 0.18, access_frac: 0.12, sharers: SharerCount::range(5, 8), rw: rw(0.65), within_chassis: false },
+                    PageClass { page_frac: 0.08, access_frac: 0.30, sharers: SharerCount::range(9, 15), rw: rw(0.60), within_chassis: false },
+                    PageClass { page_frac: 0.04, access_frac: 0.40, sharers: SharerCount::exactly(16), rw: rw(0.60), within_chassis: false },
+                ],
+            )),
+            // Table III: IPC 0.10 (0.69), MPKI 32. Classes follow Fig. 2.
+            Workload::Bfs => skewed(0.2, 0.75, WorkloadProfile::new(
+                self,
+                32_768,
+                32.0,
+                0.69,
+                7,
+                vec![
+                    PageClass { page_frac: 0.17, access_frac: 0.08, sharers: SharerCount::exactly(1), rw: rw(0.70), within_chassis: true },
+                    PageClass { page_frac: 0.61, access_frac: 0.14, sharers: SharerCount::range(2, 4), rw: rw(0.70), within_chassis: true },
+                    PageClass { page_frac: 0.15, access_frac: 0.10, sharers: SharerCount::range(5, 8), rw: rw(0.70), within_chassis: false },
+                    PageClass { page_frac: 0.05, access_frac: 0.32, sharers: SharerCount::range(9, 15), rw: rw(0.65), within_chassis: false },
+                    PageClass { page_frac: 0.02, access_frac: 0.36, sharers: SharerCount::exactly(16), rw: rw(0.65), within_chassis: false },
+                ],
+            )),
+            // Table III: IPC 0.14 (0.78), MPKI 17.
+            Workload::Cc => skewed(0.2, 0.75, WorkloadProfile::new(
+                self,
+                32_768,
+                17.0,
+                0.78,
+                4,
+                vec![
+                    PageClass { page_frac: 0.20, access_frac: 0.12, sharers: SharerCount::exactly(1), rw: rw(0.70), within_chassis: true },
+                    PageClass { page_frac: 0.55, access_frac: 0.18, sharers: SharerCount::range(2, 4), rw: rw(0.70), within_chassis: true },
+                    PageClass { page_frac: 0.13, access_frac: 0.10, sharers: SharerCount::range(5, 8), rw: rw(0.70), within_chassis: false },
+                    PageClass { page_frac: 0.08, access_frac: 0.25, sharers: SharerCount::range(9, 15), rw: rw(0.70), within_chassis: false },
+                    PageClass { page_frac: 0.04, access_frac: 0.35, sharers: SharerCount::exactly(16), rw: rw(0.70), within_chassis: false },
+                ],
+            )),
+            // Table III: IPC 0.40 (1.7), MPKI 3.2. Fig. 13: read-only, widely
+            // shared; latency-sensitive (low MLP), not bandwidth-bound.
+            Workload::Tc => skewed(0.2, 0.8, WorkloadProfile::new(
+                self,
+                32_768,
+                3.2,
+                1.70,
+                1,
+                vec![
+                    PageClass { page_frac: 0.10, access_frac: 0.06, sharers: SharerCount::exactly(1), rw: rw(0.85), within_chassis: true },
+                    PageClass { page_frac: 0.10, access_frac: 0.07, sharers: SharerCount::range(2, 7), rw: rw(0.95), within_chassis: true },
+                    PageClass { page_frac: 0.20, access_frac: 0.17, sharers: SharerCount::range(8, 15), rw: RwMix::READ_ONLY, within_chassis: false },
+                    PageClass { page_frac: 0.60, access_frac: 0.70, sharers: SharerCount::exactly(16), rw: RwMix::READ_ONLY, within_chassis: false },
+                ],
+            )),
+            // Table III: IPC 0.18 (0.89), MPKI 15. Uniform *key* popularity,
+            // 50/50 reads/writes — but the trie's internal index nodes are a
+            // small, intensely shared hot set (cache craftiness is the whole
+            // point of Masstree), hence the strong within-class skew.
+            Workload::Masstree => skewed(0.1, 0.55, WorkloadProfile::new(
+                self,
+                49_152,
+                15.0,
+                0.89,
+                4,
+                vec![
+                    PageClass { page_frac: 0.08, access_frac: 0.06, sharers: SharerCount::exactly(1), rw: rw(0.60), within_chassis: true },
+                    PageClass { page_frac: 0.92, access_frac: 0.94, sharers: SharerCount::exactly(16), rw: rw(0.50), within_chassis: false },
+                ],
+            )),
+            // Table III: IPC 0.41 (1.12), MPKI 4.8. Warehouse partitioning
+            // plus hot shared tables (93 % of migrations go to the pool).
+            Workload::Tpcc => skewed(0.2, 0.7, WorkloadProfile::new(
+                self,
+                16_384,
+                4.8,
+                1.12,
+                1,
+                vec![
+                    PageClass { page_frac: 0.55, access_frac: 0.45, sharers: SharerCount::exactly(1), rw: rw(0.55), within_chassis: true },
+                    PageClass { page_frac: 0.15, access_frac: 0.10, sharers: SharerCount::range(2, 4), rw: rw(0.60), within_chassis: true },
+                    PageClass { page_frac: 0.30, access_frac: 0.45, sharers: SharerCount::exactly(16), rw: rw(0.60), within_chassis: false },
+                ],
+            )),
+            // Table III: IPC 0.61 (1.45), MPKI 2.6. Read-mostly index with a
+            // mix of chassis-level and global sharing (47 % pool migrations).
+            Workload::Fmi => skewed(0.3, 0.7, WorkloadProfile::new(
+                self,
+                16_384,
+                2.6,
+                1.45,
+                1,
+                vec![
+                    PageClass { page_frac: 0.30, access_frac: 0.20, sharers: SharerCount::exactly(1), rw: rw(0.90), within_chassis: true },
+                    PageClass { page_frac: 0.35, access_frac: 0.35, sharers: SharerCount::range(2, 4), rw: rw(0.95), within_chassis: true },
+                    PageClass { page_frac: 0.20, access_frac: 0.20, sharers: SharerCount::range(5, 8), rw: rw(0.95), within_chassis: false },
+                    PageClass { page_frac: 0.15, access_frac: 0.25, sharers: SharerCount::exactly(16), rw: rw(0.95), within_chassis: false },
+                ],
+            )),
+            // Table III: IPC 0.68 (0.68), MPKI 33. Completely NUMA-local.
+            Workload::Poa => WorkloadProfile::new(
+                self,
+                16_384,
+                33.0,
+                0.68,
+                8,
+                vec![PageClass {
+                    page_frac: 1.0,
+                    access_frac: 1.0,
+                    sharers: SharerCount::exactly(1),
+                    rw: rw(0.70),
+                    within_chassis: true,
+                }],
+            ),
+        }
+    }
+}
+
+/// Applies a within-class hotness skew to a profile (helper keeping the
+/// per-workload tables readable).
+fn skewed(hot_page_frac: f64, hot_access_frac: f64, profile: WorkloadProfile) -> WorkloadProfile {
+    profile.with_skew(hot_page_frac, hot_access_frac)
+}
+
+/// Incremental builder for custom [`WorkloadProfile`]s.
+///
+/// The eight built-in profiles model the paper's workloads; downstream
+/// users characterizing their *own* application build a profile from its
+/// measured sharing structure:
+///
+/// ```
+/// use starnuma_trace::{ProfileBuilder, SharerCount, Workload};
+/// use starnuma_types::RwMix;
+///
+/// let profile = ProfileBuilder::new(Workload::Masstree) // closest archetype
+///     .footprint_pages(16_384)
+///     .mpki(12.0)
+///     .ipc_single_socket(1.1)
+///     .mlp(4)
+///     .class(0.5, 0.3, SharerCount::exactly(1), RwMix::new(0.7), true)
+///     .class(0.5, 0.7, SharerCount::range(8, 16), RwMix::new(0.5), false)
+///     .skew(0.2, 0.7)
+///     .build();
+/// assert_eq!(profile.classes.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProfileBuilder {
+    workload: Workload,
+    footprint_pages: u64,
+    mpki: f64,
+    ipc_single_socket: f64,
+    mlp: usize,
+    classes: Vec<PageClass>,
+    skew: Option<(f64, f64)>,
+}
+
+impl ProfileBuilder {
+    /// Starts a builder. `archetype` labels the profile (results and
+    /// reports name workloads by this label).
+    pub fn new(archetype: Workload) -> Self {
+        ProfileBuilder {
+            workload: archetype,
+            footprint_pages: 16_384,
+            mpki: 10.0,
+            ipc_single_socket: 1.0,
+            mlp: 4,
+            classes: Vec::new(),
+            skew: None,
+        }
+    }
+
+    /// Sets the footprint in 4 KiB pages.
+    pub fn footprint_pages(mut self, pages: u64) -> Self {
+        self.footprint_pages = pages;
+        self
+    }
+
+    /// Sets the target LLC misses per kilo-instruction.
+    pub fn mpki(mut self, mpki: f64) -> Self {
+        self.mpki = mpki;
+        self
+    }
+
+    /// Sets the single-socket per-core IPC (the core model's base CPI).
+    pub fn ipc_single_socket(mut self, ipc: f64) -> Self {
+        self.ipc_single_socket = ipc;
+        self
+    }
+
+    /// Sets the memory-level parallelism (max outstanding misses per core).
+    pub fn mlp(mut self, mlp: usize) -> Self {
+        self.mlp = mlp;
+        self
+    }
+
+    /// Appends a page class.
+    pub fn class(
+        mut self,
+        page_frac: f64,
+        access_frac: f64,
+        sharers: SharerCount,
+        rw: RwMix,
+        within_chassis: bool,
+    ) -> Self {
+        self.classes.push(PageClass {
+            page_frac,
+            access_frac,
+            sharers,
+            rw,
+            within_chassis,
+        });
+        self
+    }
+
+    /// Sets the within-class hotness skew.
+    pub fn skew(mut self, hot_page_frac: f64, hot_access_frac: f64) -> Self {
+        self.skew = Some((hot_page_frac, hot_access_frac));
+        self
+    }
+
+    /// Validates and builds the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`WorkloadProfile::new`] (class
+    /// fractions must each sum to 1, positive footprint/MLP) and
+    /// [`WorkloadProfile::with_skew`].
+    pub fn build(self) -> WorkloadProfile {
+        let profile = WorkloadProfile::new(
+            self.workload,
+            self.footprint_pages,
+            self.mpki,
+            self.ipc_single_socket,
+            self.mlp,
+            self.classes,
+        );
+        match self.skew {
+            Some((p, a)) => profile.with_skew(p, a),
+            None => profile,
+        }
+    }
+}
+
+impl core::fmt::Display for Workload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The statistical description of one workload's memory behavior.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WorkloadProfile {
+    /// Which workload this profile models.
+    pub workload: Workload,
+    /// Footprint in 4 KiB pages (scaled down with the system, §IV-D).
+    pub footprint_pages: u64,
+    /// Target LLC misses per kilo-instruction on the 16-socket baseline.
+    pub mpki: f64,
+    /// Per-core IPC achieved with purely local memory (the parenthesized
+    /// single-socket IPC of Table III); sets the core model's base CPI.
+    pub ipc_single_socket: f64,
+    /// Memory-level parallelism: maximum outstanding LLC misses one core
+    /// sustains. High for bandwidth-bound streaming kernels (SSSP, BFS),
+    /// low for dependent-access, latency-bound codes (TC, FMI, TPCC).
+    pub mlp: usize,
+    /// Page sharing classes; `page_frac` and `access_frac` each sum to 1.
+    pub classes: Vec<PageClass>,
+    /// Within-class hotness skew: the fraction of each class's regions that
+    /// are "hot" (e.g. high-degree vertices, hot index nodes).
+    pub hot_page_frac: f64,
+    /// The fraction of each class's accesses drawn by its hot regions.
+    /// Equal to `hot_page_frac` means a uniform distribution.
+    pub hot_access_frac: f64,
+}
+
+impl WorkloadProfile {
+    /// Creates and validates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if class fractions do not sum to 1 (±1 %), the footprint is
+    /// zero, or `mlp` is zero.
+    pub fn new(
+        workload: Workload,
+        footprint_pages: u64,
+        mpki: f64,
+        ipc_single_socket: f64,
+        mlp: usize,
+        classes: Vec<PageClass>,
+    ) -> Self {
+        assert!(footprint_pages > 0, "footprint must be positive");
+        assert!(mlp > 0, "mlp must be positive");
+        assert!(!classes.is_empty(), "at least one page class required");
+        let page_sum: f64 = classes.iter().map(|c| c.page_frac).sum();
+        let access_sum: f64 = classes.iter().map(|c| c.access_frac).sum();
+        assert!(
+            (page_sum - 1.0).abs() < 0.01,
+            "page fractions sum to {page_sum}, expected 1.0"
+        );
+        assert!(
+            (access_sum - 1.0).abs() < 0.01,
+            "access fractions sum to {access_sum}, expected 1.0"
+        );
+        WorkloadProfile {
+            workload,
+            footprint_pages,
+            mpki,
+            ipc_single_socket,
+            mlp,
+            classes,
+            hot_page_frac: 0.2,
+            hot_access_frac: 0.2, // uniform by default
+        }
+    }
+
+    /// Sets the within-class hotness skew: `hot_page_frac` of each class's
+    /// regions draw `hot_access_frac` of its accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is outside `(0, 1)` or the skew is inverted
+    /// (`hot_access_frac < hot_page_frac`).
+    pub fn with_skew(mut self, hot_page_frac: f64, hot_access_frac: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&hot_page_frac) && hot_page_frac > 0.0,
+            "hot_page_frac must be in (0, 1)"
+        );
+        assert!(
+            (hot_page_frac..1.0).contains(&hot_access_frac),
+            "hot_access_frac must be in [hot_page_frac, 1)"
+        );
+        self.hot_page_frac = hot_page_frac;
+        self.hot_access_frac = hot_access_frac;
+        self
+    }
+
+    /// Base cycles-per-instruction of the core model (the inverse of the
+    /// single-socket IPC: it folds in compute and local-memory effects).
+    pub fn base_cpi(&self) -> f64 {
+        1.0 / self.ipc_single_socket
+    }
+
+    /// Mean instructions between two generated LLC misses.
+    pub fn instructions_per_miss(&self) -> f64 {
+        1000.0 / self.mpki
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for w in Workload::ALL {
+            let p = w.profile();
+            assert_eq!(p.workload, w);
+            assert!(p.mpki > 0.0);
+            assert!(p.base_cpi() > 0.0);
+            assert!(!w.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn table3_mpki_ordering_preserved() {
+        // SSSP > POA > BFS > CC > Masstree > TPCC > TC > FMI.
+        let mpki: Vec<f64> = [
+            Workload::Sssp,
+            Workload::Poa,
+            Workload::Bfs,
+            Workload::Cc,
+            Workload::Masstree,
+            Workload::Tpcc,
+            Workload::Tc,
+            Workload::Fmi,
+        ]
+        .iter()
+        .map(|w| w.profile().mpki)
+        .collect();
+        for pair in mpki.windows(2) {
+            assert!(pair[0] > pair[1], "MPKI ordering violated: {mpki:?}");
+        }
+    }
+
+    #[test]
+    fn bfs_matches_fig2_shape() {
+        let p = Workload::Bfs.profile();
+        // 17 % single-sharer pages; 2 % pages shared by all 16 sockets
+        // drawing 36 % of accesses (Fig. 2).
+        let private = &p.classes[0];
+        assert_eq!(private.sharers, SharerCount::exactly(1));
+        assert!((private.page_frac - 0.17).abs() < 1e-9);
+        let all16 = p.classes.last().unwrap();
+        assert_eq!(all16.sharers, SharerCount::exactly(16));
+        assert!((all16.page_frac - 0.02).abs() < 1e-9);
+        assert!((all16.access_frac - 0.36).abs() < 1e-9);
+        // >8-sharer pages draw 68 % of accesses.
+        let wide: f64 = p
+            .classes
+            .iter()
+            .filter(|c| c.sharers.min >= 9)
+            .map(|c| c.access_frac)
+            .sum();
+        assert!((wide - 0.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tc_matches_fig13_shape() {
+        let p = Workload::Tc.profile();
+        // 60 % of the dataset touched by 16 sockets, 80 % by 8+ (Fig. 13),
+        // and the shared classes are read-only.
+        let by16: f64 = p
+            .classes
+            .iter()
+            .filter(|c| c.sharers.min == 16)
+            .map(|c| c.page_frac)
+            .sum();
+        assert!((by16 - 0.60).abs() < 1e-9);
+        let by8plus: f64 = p
+            .classes
+            .iter()
+            .filter(|c| c.sharers.min >= 8)
+            .map(|c| c.page_frac)
+            .sum();
+        assert!((by8plus - 0.80).abs() < 1e-9);
+        for c in p.classes.iter().filter(|c| c.sharers.min >= 8) {
+            assert_eq!(c.rw, RwMix::READ_ONLY);
+        }
+    }
+
+    #[test]
+    fn poa_is_fully_private() {
+        let p = Workload::Poa.profile();
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.classes[0].sharers, SharerCount::exactly(1));
+        // POA is NUMA-insensitive: single- and 16-socket IPC match (Table III).
+        assert_eq!(p.ipc_single_socket, 0.68);
+    }
+
+    #[test]
+    fn sharer_count_constructors() {
+        assert_eq!(SharerCount::exactly(4), SharerCount { min: 4, max: 4 });
+        assert_eq!(SharerCount::range(2, 4), SharerCount { min: 2, max: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sharer range")]
+    fn sharer_range_rejects_inverted() {
+        let _ = SharerCount::range(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "page fractions sum")]
+    fn profile_rejects_bad_fractions() {
+        let _ = WorkloadProfile::new(
+            Workload::Bfs,
+            1024,
+            10.0,
+            1.0,
+            4,
+            vec![PageClass {
+                page_frac: 0.5,
+                access_frac: 1.0,
+                sharers: SharerCount::exactly(1),
+                rw: RwMix::default(),
+                within_chassis: true,
+            }],
+        );
+    }
+
+    #[test]
+    fn derived_rates() {
+        let p = Workload::Bfs.profile();
+        assert!((p.instructions_per_miss() - 31.25).abs() < 1e-9);
+        assert!((p.base_cpi() - 1.0 / 0.69).abs() < 1e-9);
+    }
+}

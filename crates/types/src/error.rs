@@ -1,0 +1,58 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+use std::error::Error;
+
+/// Returned when a system or experiment configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use starnuma_types::ConfigError;
+/// let err = ConfigError::new("socket count must be a multiple of 4");
+/// assert!(err.to_string().contains("multiple of 4"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// Returns the error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("boom");
+        assert_eq!(e.to_string(), "invalid configuration: boom");
+        assert_eq!(e.message(), "boom");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

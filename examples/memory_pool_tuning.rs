@@ -1,0 +1,50 @@
+//! Memory-pool design-space exploration: how pool capacity, CXL latency,
+//! and CXL bandwidth affect StarNUMA's benefit — the knobs a system
+//! architect provisioning an MHD actually controls (§V-C, §V-D, §V-E).
+//!
+//! ```sh
+//! cargo run --release --example memory_pool_tuning
+//! ```
+
+use starnuma::{Experiment, ScaleConfig, SystemKind, Workload};
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    // One latency-sensitive and one bandwidth-sensitive workload.
+    let workloads = [Workload::Tc, Workload::Sssp];
+
+    println!("Memory-pool design space (speedups over the baseline)\n");
+    println!(
+        "{:<30} {:>8} {:>8}",
+        "configuration",
+        workloads[0].name(),
+        workloads[1].name()
+    );
+
+    let mut baselines = Vec::new();
+    for w in workloads {
+        baselines.push(Experiment::new(w, SystemKind::Baseline, scale.clone()).run());
+    }
+
+    for kind in [
+        SystemKind::StarNuma,
+        SystemKind::StarNumaSmallPool,
+        SystemKind::StarNumaCxlSwitch,
+        SystemKind::StarNumaHalfBw,
+    ] {
+        let mut row = format!("{:<30}", kind.label());
+        for (w, base) in workloads.iter().zip(&baselines) {
+            let r = Experiment::new(*w, kind, scale.clone()).run();
+            row.push_str(&format!(" {:>7.2}x", r.ipc / base.ipc));
+        }
+        println!("{row}");
+    }
+
+    println!("\nReading the table:");
+    println!("- a small pool (1/17 of the footprint) barely hurts: a small");
+    println!("  fraction of hot vagabond pages draws most remote accesses;");
+    println!("- an extra CXL switch (270 ns pool access) hits the");
+    println!("  latency-sensitive workload (TC) hardest (paper §V-C);");
+    println!("- halving CXL bandwidth hits the bandwidth-bound workload");
+    println!("  (SSSP) hardest (paper §V-D).");
+}

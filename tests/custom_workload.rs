@@ -1,0 +1,81 @@
+//! End-to-end test of the custom-workload path: a downstream user
+//! characterizes their own application with [`ProfileBuilder`] and runs it
+//! through the full pipeline.
+
+use starnuma::{Experiment, MigrationMode, Runner, ScaleConfig, SystemKind, Workload};
+use starnuma_trace::{ProfileBuilder, SharerCount};
+use starnuma_types::RwMix;
+
+fn custom_profile(wide_access: f64) -> starnuma_trace::WorkloadProfile {
+    ProfileBuilder::new(Workload::Masstree)
+        .footprint_pages(8_192)
+        .mpki(20.0)
+        .ipc_single_socket(0.9)
+        .mlp(6)
+        .class(
+            0.6,
+            1.0 - wide_access,
+            SharerCount::exactly(1),
+            RwMix::new(0.7),
+            true,
+        )
+        .class(
+            0.4,
+            wide_access,
+            SharerCount::range(12, 16),
+            RwMix::new(0.6),
+            false,
+        )
+        .skew(0.2, 0.7)
+        .build()
+}
+
+fn run(profile: starnuma_trace::WorkloadProfile, kind: SystemKind) -> starnuma::RunResult {
+    let mut cfg =
+        Experiment::new(Workload::Masstree, kind, ScaleConfig::quick()).run_config();
+    if kind == SystemKind::Baseline {
+        cfg.migration = MigrationMode::FirstTouchOnly;
+    }
+    Runner::new(profile, cfg).run()
+}
+
+#[test]
+fn custom_vagabond_heavy_workload_benefits_from_pool() {
+    let base = run(custom_profile(0.7), SystemKind::Baseline);
+    let star = run(custom_profile(0.7), SystemKind::StarNuma);
+    assert!(
+        star.ipc > base.ipc,
+        "70% vagabond accesses must benefit: {} vs {}",
+        star.ipc,
+        base.ipc
+    );
+    assert!(star.pool_migration_frac() > 0.5);
+}
+
+#[test]
+fn custom_private_heavy_workload_is_insensitive() {
+    let base = run(custom_profile(0.05), SystemKind::Baseline);
+    let star = run(custom_profile(0.05), SystemKind::StarNuma);
+    let speedup = star.ipc / base.ipc;
+    assert!(
+        (0.9..1.25).contains(&speedup),
+        "5% vagabond accesses: little to gain, got {speedup}"
+    );
+}
+
+#[test]
+fn pool_benefit_grows_with_vagabond_share() {
+    let mut prev = 0.0;
+    for wide in [0.1, 0.4, 0.7] {
+        let base = run(custom_profile(wide), SystemKind::Baseline);
+        let star = run(custom_profile(wide), SystemKind::StarNuma);
+        let speedup = star.ipc / base.ipc;
+        assert!(
+            speedup >= prev - 0.08,
+            "benefit should be non-decreasing in vagabond share \
+             (wide={wide}: {speedup:.2} after {prev:.2})"
+        );
+        prev = speedup;
+    }
+    assert!(prev > 1.1, "the heaviest-sharing point must clearly win");
+}

@@ -1,0 +1,134 @@
+//! End-to-end simulation tests: quick-scale runs of the full pipeline
+//! asserting the paper's *qualitative* results.
+
+use starnuma::{
+    AccessClass, Experiment, ScaleConfig, SystemKind, Workload,
+};
+
+fn run(w: Workload, k: SystemKind) -> starnuma::RunResult {
+    Experiment::new(w, k, ScaleConfig::quick()).run()
+}
+
+#[test]
+fn starnuma_beats_baseline_on_graphs() {
+    for w in [Workload::Bfs, Workload::Cc] {
+        let base = run(w, SystemKind::Baseline);
+        let star = run(w, SystemKind::StarNuma);
+        assert!(
+            star.ipc > base.ipc,
+            "{w}: StarNUMA {:.3} must beat baseline {:.3}",
+            star.ipc,
+            base.ipc
+        );
+        assert!(star.amat_ns < base.amat_ns, "{w}: AMAT must drop");
+    }
+}
+
+#[test]
+fn poa_is_numa_insensitive() {
+    // §V-A: POA's first-touch placement already makes all accesses local;
+    // no migration occurs and no data is placed in the pool.
+    let base = run(Workload::Poa, SystemKind::Baseline);
+    let star = run(Workload::Poa, SystemKind::StarNuma);
+    assert!((star.ipc / base.ipc - 1.0).abs() < 0.02);
+    assert_eq!(star.pages_to_pool, 0);
+    assert!(star.class_frac(AccessClass::Local) > 0.99);
+}
+
+#[test]
+fn pool_accesses_replace_two_hop() {
+    let base = run(Workload::Bfs, SystemKind::Baseline);
+    let star = run(Workload::Bfs, SystemKind::StarNuma);
+    assert_eq!(base.class_frac(AccessClass::Pool), 0.0);
+    assert!(star.class_frac(AccessClass::Pool) > 0.1);
+    assert!(
+        star.class_frac(AccessClass::TwoHop) < base.class_frac(AccessClass::TwoHop),
+        "2-hop accesses must shrink"
+    );
+}
+
+#[test]
+fn block_transfers_shift_to_pool_path() {
+    let base = run(Workload::Masstree, SystemKind::Baseline);
+    let star = run(Workload::Masstree, SystemKind::StarNuma);
+    assert_eq!(base.class_frac(AccessClass::BtPool), 0.0);
+    assert!(
+        star.class_frac(AccessClass::BtPool) > 0.0,
+        "pool-homed read-write data must produce 4-hop transfers"
+    );
+}
+
+#[test]
+fn masstree_migrations_are_all_pool() {
+    // Table IV: 100% for Masstree.
+    let star = run(Workload::Masstree, SystemKind::StarNuma);
+    assert!(star.pages_migrated > 0);
+    assert!(star.pool_migration_frac() > 0.95);
+}
+
+#[test]
+fn baseline_never_produces_pool_traffic() {
+    for k in [
+        SystemKind::Baseline,
+        SystemKind::BaselineIsoBw,
+        SystemKind::Baseline2xBw,
+        SystemKind::BaselineFirstTouch,
+        SystemKind::BaselineStaticOracle,
+    ] {
+        let r = run(Workload::Tpcc, k);
+        assert_eq!(r.class_frac(AccessClass::Pool), 0.0, "{k}");
+        assert_eq!(r.class_frac(AccessClass::BtPool), 0.0, "{k}");
+        assert_eq!(r.pages_to_pool, 0, "{k}");
+    }
+}
+
+#[test]
+fn amat_decomposition_is_consistent() {
+    for k in [SystemKind::Baseline, SystemKind::StarNuma] {
+        let r = run(Workload::Sssp, k);
+        assert!(
+            (r.unloaded_amat_ns + r.contention_ns - r.amat_ns).abs() < 1.0,
+            "unloaded + contention must equal total AMAT"
+        );
+        assert!(r.unloaded_amat_ns >= 80.0, "AMAT cannot beat local latency");
+        let frac_sum: f64 = r.class_fracs.iter().sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(Workload::Tc, SystemKind::StarNuma);
+    let b = run(Workload::Tc, SystemKind::StarNuma);
+    assert_eq!(a.ipc, b.ipc);
+    assert_eq!(a.amat_ns, b.amat_ns);
+    assert_eq!(a.pages_migrated, b.pages_migrated);
+    assert_eq!(a.class_fracs, b.class_fracs);
+}
+
+#[test]
+fn seed_changes_results_but_not_conclusions() {
+    let mut scale = ScaleConfig::quick();
+    scale.seed = 1234;
+    let base = Experiment::new(Workload::Bfs, SystemKind::Baseline, scale.clone()).run();
+    let star = Experiment::new(Workload::Bfs, SystemKind::StarNuma, scale).run();
+    assert!(star.ipc > base.ipc, "conclusion holds under a different seed");
+}
+
+#[test]
+fn higher_pool_latency_reduces_benefit_for_tc() {
+    // Fig. 10's mechanism, at quick scale: TC's speedup comes from latency.
+    let base = run(Workload::Tc, SystemKind::Baseline);
+    let fast = run(Workload::Tc, SystemKind::StarNuma);
+    let slow = run(Workload::Tc, SystemKind::StarNumaCxlSwitch);
+    assert!(fast.ipc / base.ipc >= slow.ipc / base.ipc);
+}
+
+#[test]
+fn directory_handles_coherence_traffic() {
+    // §V-A: coherence is commonly occurring; the pool directory handles a
+    // transaction every ~100 ns in the paper's full-scale runs.
+    let star = run(Workload::Masstree, SystemKind::StarNuma);
+    assert!(star.directory.pool_transactions > 0);
+    assert!(star.directory.invalidations > 0, "50/50 R/W must invalidate");
+}

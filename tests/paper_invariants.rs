@@ -1,0 +1,128 @@
+//! Cross-crate integration tests pinning every *analytic* number the paper
+//! states — latencies, topology structure, parameter tables — end to end
+//! through the public API.
+
+use starnuma::{
+    CxlLatencyBreakdown, LatencyModel, Network, ScalePreset, SystemParams,
+};
+use starnuma_types::{Location, Nanos, SocketId};
+
+fn model() -> LatencyModel {
+    LatencyModel::new(SystemParams::full_scale_starnuma())
+}
+
+#[test]
+fn unloaded_latency_ladder() {
+    // §II-A: 80 / 130 / 360 ns; §II-C: 180 ns pool.
+    let m = model();
+    let s0 = SocketId::new(0);
+    assert_eq!(m.demand_access(s0, Location::Socket(s0)).raw(), 80.0);
+    assert_eq!(
+        m.demand_access(s0, Location::Socket(SocketId::new(2))).raw(),
+        130.0
+    );
+    assert_eq!(
+        m.demand_access(s0, Location::Socket(SocketId::new(13))).raw(),
+        360.0
+    );
+    assert_eq!(m.demand_access(s0, Location::Pool).raw(), 180.0);
+}
+
+#[test]
+fn latency_gap_is_4_5x() {
+    // §II-A: "4.5× gap in unloaded latency".
+    let m = model();
+    let s0 = SocketId::new(0);
+    let local = m.demand_access(s0, Location::Socket(s0)).raw();
+    let worst = m.demand_access(s0, Location::Socket(SocketId::new(15))).raw();
+    assert_eq!(worst / local, 4.5);
+}
+
+#[test]
+fn pool_is_2x_faster_than_two_hop_and_40pct_slower_than_one_hop() {
+    // §II-C.
+    let m = model();
+    let s0 = SocketId::new(0);
+    let pool = m.demand_access(s0, Location::Pool).raw();
+    let one_hop = m.demand_access(s0, Location::Socket(SocketId::new(1))).raw();
+    let two_hop = m.demand_access(s0, Location::Socket(SocketId::new(8))).raw();
+    assert_eq!(two_hop / pool, 2.0);
+    assert!((pool / one_hop - 1.4).abs() < 0.02);
+}
+
+#[test]
+fn fig3_breakdown() {
+    let b = CxlLatencyBreakdown::paper();
+    assert_eq!(b.total().raw(), 100.0);
+    assert_eq!(b.end_to_end(Nanos::new(80.0)).raw(), 180.0);
+}
+
+#[test]
+fn fig4_block_transfer_latencies() {
+    // §III-C: 333 ns average 3-hop; 200 ns 4-hop via pool; §V-A: 413/280 ns
+    // accounting values.
+    let m = model();
+    assert!((m.average_three_hop_transfer().raw() - 333.0).abs() < 5.0);
+    assert_eq!(m.four_hop_pool_transfer().raw(), 200.0);
+    assert!((m.bt_socket_accounting().raw() - 413.0).abs() < 5.0);
+    assert_eq!(m.bt_pool_accounting().raw(), 280.0);
+}
+
+#[test]
+fn table1_and_table2_parameters() {
+    let full = SystemParams::full_scale_starnuma();
+    assert_eq!(full.total_cores(), 448); // 16 × 28
+    assert_eq!(full.upi_bw.raw(), 20.8);
+    assert_eq!(full.numalink_bw.raw(), 13.0);
+    assert_eq!(full.cxl_bw.raw(), 40.0);
+    let scaled = SystemParams::scaled_starnuma();
+    assert_eq!(scaled.total_cores(), 64); // 16 × 4
+    assert_eq!(scaled.upi_bw.raw(), 3.0);
+    assert_eq!(scaled.cxl_bw.raw(), 6.0);
+}
+
+#[test]
+fn interconnect_link_counts() {
+    // §II-A: hierarchical interconnection with 28 inter-chassis NUMALinks
+    // (we aggregate the 4 links per chassis pair into one directed bundle
+    // per direction: 4×3 = 12 directed bundles), 68 coherent links total in
+    // the §V-D accounting.
+    let net = Network::new(&SystemParams::scaled_starnuma());
+    // 48 intra-chassis UPI + 32 socket↔ASIC UPI + 12 NUMALink bundles +
+    // 32 CXL (16 up, 16 down).
+    assert_eq!(net.link_count(), 124);
+    let baseline = Network::new(&SystemParams::scaled_baseline());
+    assert_eq!(baseline.link_count(), 92);
+}
+
+#[test]
+fn cxl_switch_and_32_socket_scaling() {
+    // §V-C: a CXL switch adds ~90 ns roundtrip → 270 ns pool access, still
+    // 25% below a 2-hop access.
+    let m = LatencyModel::new(SystemParams::full_scale_starnuma().with_cxl_switch());
+    let pool = m.demand_access(SocketId::new(0), Location::Pool).raw();
+    assert_eq!(pool, 270.0);
+    assert!(pool <= 360.0 * 0.75);
+    // 32 sockets: 8 chassis, latencies unchanged, network builds.
+    let params = SystemParams::full_scale_starnuma()
+        .with_num_sockets(32)
+        .expect("32 sockets is valid");
+    assert_eq!(params.num_chassis(), 8);
+    let net = Network::new(&params.clone().with_scale_preset(ScalePreset::Sc1));
+    assert!(net.link_count() > 0);
+}
+
+#[test]
+fn bandwidth_variants_match_section_5d() {
+    use starnuma::BandwidthVariant;
+    let iso = SystemParams::full_scale_baseline()
+        .with_bandwidth_variant(BandwidthVariant::BaselineIsoBw);
+    assert!((iso.upi_bw.raw() - 26.4).abs() < 1e-9);
+    assert!((iso.numalink_bw.raw() - 17.0).abs() < 1e-9);
+    let double = SystemParams::full_scale_baseline()
+        .with_bandwidth_variant(BandwidthVariant::Baseline2xBw);
+    assert!((double.upi_bw.raw() - 41.6).abs() < 1e-9);
+    let half = SystemParams::full_scale_starnuma()
+        .with_bandwidth_variant(BandwidthVariant::StarNumaHalfBw);
+    assert!((half.cxl_bw.raw() - 20.0).abs() < 1e-9);
+}
