@@ -1,0 +1,45 @@
+//! Zero-dependency static analysis for the StarNUMA workspace.
+//!
+//! Two passes keep the reproduction trustworthy:
+//!
+//! * **Pass 1 — source lints** ([`scanner`]): a line/token scanner over the
+//!   workspace's own `.rs` files enforcing repo-specific rules that generic
+//!   tools cannot know:
+//!   - **SN001** — no `unwrap()` / `expect()` / `panic!` in non-test
+//!     library code (bad configs must surface as typed errors, not mid-run
+//!     aborts);
+//!   - **SN002** — no wall-clock reads (`Instant::now` / `SystemTime`) in
+//!     simulation crates (simulated time only: determinism);
+//!   - **SN003** — no `HashMap` / `HashSet` in non-test code (iteration
+//!     order leaks into stats; use `BTreeMap` / `BTreeSet` or sorted
+//!     drains);
+//!   - **SN004** — every crate root carries `#![forbid(unsafe_code)]` and
+//!     `#![warn(missing_docs)]`.
+//!
+//! * **Pass 2 — model validation**: the `diagnostics()` methods on
+//!   `SystemParams`, `PolicyConfig`, `MigrationCosts`, and `RunConfig`
+//!   (living next to those types) check physical consistency before a run
+//!   starts and report through the same [`starnuma_types::Diagnostic`]
+//!   type, with `SN1xx` codes.
+//!
+//! False positives are suppressed with a `// audit:allow(SNxxx)` marker on
+//! the offending line or the line above it.
+//!
+//! # Examples
+//!
+//! ```
+//! use starnuma_audit::lint_source;
+//!
+//! let findings = lint_source("demo.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }", false);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].code, "SN001");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod scanner;
+
+pub use report::{render_human, render_json};
+pub use scanner::{lint_source, lint_workspace, wallclock_exempt};

@@ -1,0 +1,380 @@
+//! Pass 1: the source-lint scanner.
+//!
+//! A deliberately simple line/token scanner — not a parser. It strips line
+//! comments and string literals, tracks brace depth to skip `#[cfg(test)]`
+//! modules, and matches the forbidden tokens textually. The trade-off is
+//! explicit: a handful of syntactic blind spots (multi-line string
+//! literals containing braces) in exchange for zero dependencies and
+//! sub-millisecond whole-workspace scans.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use starnuma_types::{Diagnostic, StarNumaError};
+
+/// Crate directory names exempt from SN002 (wall-clock): the benchmark
+/// harness must measure real time; everything else simulates time.
+pub fn wallclock_exempt() -> &'static [&'static str] {
+    &["bench"]
+}
+
+/// Scans a workspace rooted at `root`: `src/` plus every `crates/*/src/`.
+///
+/// Returns all findings, sorted by file then line, so output order is
+/// deterministic regardless of directory enumeration order.
+///
+/// # Errors
+///
+/// Returns [`StarNumaError::Io`] when a source tree cannot be read, or
+/// when `root` contains no Rust sources at all — a mistyped path must not
+/// read as a clean scan.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, StarNumaError> {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut src_dirs: Vec<(PathBuf, String)> = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        src_dirs.push((root_src, String::new()));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .map_err(|e| StarNumaError::Io(format!("{}: {e}", crates_dir.display())))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("src").is_dir())
+            .collect();
+        entries.sort();
+        for c in entries {
+            let name = c
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            src_dirs.push((c.join("src"), name));
+        }
+    }
+    for (src, crate_name) in src_dirs {
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        let skip_wallclock = wallclock_exempt().contains(&crate_name.as_str());
+        for file in files {
+            files_scanned += 1;
+            let source = fs::read_to_string(&file)
+                .map_err(|e| StarNumaError::Io(format!("{}: {e}", file.display())))?;
+            let label = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .into_owned();
+            let is_crate_root = file.file_name().is_some_and(|n| n == "lib.rs")
+                && file.parent().is_some_and(|p| p.ends_with("src"));
+            let mut f = lint_source(&label, &source, is_crate_root);
+            if skip_wallclock {
+                f.retain(|d| d.code != "SN002");
+            }
+            findings.extend(f);
+        }
+    }
+    if files_scanned == 0 {
+        return Err(StarNumaError::Io(format!(
+            "{}: no Rust sources found (expected src/ or crates/*/src/)",
+            root.display()
+        )));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), StarNumaError> {
+    for entry in
+        fs::read_dir(dir).map_err(|e| StarNumaError::Io(format!("{}: {e}", dir.display())))?
+    {
+        let entry = entry.map_err(|e| StarNumaError::Io(e.to_string()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source file's text. `label` names it in diagnostics;
+/// `is_crate_root` enables the SN004 attribute check.
+pub fn lint_source(label: &str, source: &str, is_crate_root: bool) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    let mut depth: i64 = 0;
+    // Depth at which the innermost `#[cfg(test)] mod { … }` was entered.
+    let mut test_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    let mut prev_allows: Vec<String> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim_start();
+        let allows = allow_markers(raw);
+        let code = strip_comments_and_strings(raw);
+
+        // Doc comments and attributes carry no executable code.
+        let is_doc = trimmed.starts_with("///") || trimmed.starts_with("//!");
+        let is_comment = trimmed.starts_with("//");
+
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && !trimmed.starts_with('#') {
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                if code.contains('{') {
+                    test_depth = test_depth.or(Some(depth));
+                }
+                // `mod x;` points at a separate file cargo only builds for
+                // tests; nothing to skip here.
+                pending_cfg_test = false;
+            } else if !trimmed.is_empty() {
+                pending_cfg_test = false;
+            }
+        }
+
+        let in_test = test_depth.is_some();
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(td) = test_depth {
+            if depth <= td {
+                test_depth = None;
+            }
+        }
+
+        if in_test || is_doc || is_comment {
+            prev_allows = allows;
+            continue;
+        }
+
+        let suppressed =
+            |rule: &str| allows.iter().any(|a| a == rule) || prev_allows.iter().any(|a| a == rule);
+        let loc = format!("{label}:{line_no}");
+
+        if !suppressed("SN001") {
+            if code.contains(".unwrap()") {
+                findings.push(Diagnostic::error(
+                    "SN001",
+                    loc.clone(),
+                    "`unwrap()` in library code",
+                    "return a typed StarNumaError (or mark `// audit:allow(SN001)` \
+                     with a documented panic contract)",
+                ));
+            }
+            if code.contains(".expect(") {
+                findings.push(Diagnostic::error(
+                    "SN001",
+                    loc.clone(),
+                    "`expect()` in library code",
+                    "return a typed StarNumaError (or mark `// audit:allow(SN001)` \
+                     with a documented panic contract)",
+                ));
+            }
+            if code.contains("panic!(") {
+                findings.push(Diagnostic::error(
+                    "SN001",
+                    loc.clone(),
+                    "`panic!` in library code",
+                    "return a typed StarNumaError (or mark `// audit:allow(SN001)` \
+                     with a documented panic contract)",
+                ));
+            }
+        }
+        if !suppressed("SN002") && (code.contains("Instant::now") || code.contains("SystemTime")) {
+            findings.push(Diagnostic::error(
+                "SN002",
+                loc.clone(),
+                "wall-clock read in a simulation crate",
+                "simulated time only: derive timing from Cycles/Nanos, \
+                 never the host clock",
+            ));
+        }
+        if !suppressed("SN003") && (code.contains("HashMap") || code.contains("HashSet")) {
+            findings.push(Diagnostic::error(
+                "SN003",
+                loc.clone(),
+                "hash collection in library code (iteration order is unstable)",
+                "use BTreeMap/BTreeSet (all workspace keys are Ord) or drain \
+                 through a sorted Vec",
+            ));
+        }
+
+        prev_allows = allows;
+    }
+
+    if is_crate_root {
+        for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+            if !source.contains(attr) {
+                findings.push(Diagnostic::error(
+                    "SN004",
+                    format!("{label}:1"),
+                    format!("crate root is missing `{attr}`"),
+                    "add the attribute below the crate-level doc comment",
+                ));
+            }
+        }
+    }
+
+    findings
+}
+
+/// Extracts `audit:allow(SNxxx)` rule codes from a line's comment.
+fn allow_markers(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("audit:allow(") {
+        rest = &rest[pos + "audit:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            out.push(rest[..end].trim().to_string());
+            rest = &rest[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Removes `//` line comments and the contents of string/char literals so
+/// token matching cannot fire inside text.
+fn strip_comments_and_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if in_char {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '\'' => in_char = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break,
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            // A quote is a char literal only when it closes within a couple
+            // of characters; otherwise it is a lifetime (`'a`).
+            '\'' => {
+                let lookahead: String = chars.clone().take(3).collect();
+                if lookahead.starts_with('\\') || lookahead.chars().nth(1) == Some('\'') {
+                    in_char = true;
+                } else {
+                    out.push('\'');
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_expect_and_panic() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    let y = x.unwrap();\n    let z = x.expect(\"msg\");\n    panic!(\"no\");\n}\n";
+        let codes: Vec<_> = lint_source("f.rs", src, false)
+            .into_iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(codes, vec!["SN001", "SN001", "SN001"]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        None::<u32>.unwrap();\n        let m = std::collections::HashMap::<u32, u32>::new();\n        let _ = m;\n    }\n}\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\nfn after(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let f = lint_source("f.rs", src, false);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].location.ends_with(":6"));
+    }
+
+    #[test]
+    fn wallclock_and_hash_collections_flagged() {
+        let src = "use std::time::Instant;\nuse std::collections::HashMap;\nfn f() { let _ = Instant::now(); }\n";
+        let codes: Vec<_> = lint_source("f.rs", src, false)
+            .into_iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(codes, vec!["SN003", "SN002"]);
+    }
+
+    #[test]
+    fn allow_marker_suppresses_same_and_next_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // audit:allow(SN001)\n    let a = x.unwrap();\n    let b = x.unwrap(); // audit:allow(SN001)\n    a + b\n}\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_is_rule_specific() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // audit:allow(SN003)\n";
+        assert_eq!(lint_source("f.rs", src, false).len(), 1);
+    }
+
+    #[test]
+    fn tokens_inside_strings_do_not_fire() {
+        let src = "fn f() -> &'static str { \"call .unwrap() or panic!(HashMap)\" }\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn tokens_inside_comments_do_not_fire() {
+        let src = "fn f() {} // the old code called .unwrap() on a HashMap\n/// docs mention panic!(…) too\nfn g() {}\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn crate_root_attributes_required() {
+        let f = lint_source("src/lib.rs", "//! docs\npub fn x() {}\n", true);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|d| d.code == "SN004"));
+        let ok = "//! docs\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn x() {}\n";
+        assert!(lint_source("src/lib.rs", ok, true).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_the_stripper() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn should_panic_attribute_is_not_a_panic() {
+        let src = "#[should_panic(expected = \"boom\")]\nfn not_really_lib() {}\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+    }
+}

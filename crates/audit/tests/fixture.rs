@@ -1,0 +1,56 @@
+//! End-to-end scan of the deliberately dirty fixture tree under
+//! `tests/fixture_ws` (which carries no `Cargo.toml`, so cargo never
+//! compiles it — the scanner sees it purely as text).
+
+use std::path::Path;
+
+use starnuma_audit::{lint_workspace, render_human, render_json};
+
+fn fixture_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixture_ws")
+}
+
+#[test]
+fn fixture_violations_are_found_with_exact_codes() {
+    let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
+    let codes: Vec<&str> = findings.iter().map(|d| d.code).collect();
+    assert_eq!(
+        codes,
+        ["SN001", "SN002", "SN003", "SN003", "SN004", "SN004"],
+        "findings:\n{}",
+        render_human(&findings)
+    );
+    assert!(findings.iter().all(|d| d.is_error()));
+    assert!(
+        findings[0].location.ends_with("lib.rs:5"),
+        "unwrap flagged at {}",
+        findings[0].location
+    );
+}
+
+#[test]
+fn allow_marker_and_test_module_are_exempt() {
+    let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
+    // The allow-marked unwrap (line 18) and the test-module unwrap (line 26)
+    // must not be reported.
+    assert!(!findings.iter().any(|d| d.location.ends_with(":18")));
+    assert!(!findings.iter().any(|d| d.location.ends_with(":26")));
+}
+
+#[test]
+fn a_sourceless_root_is_an_error_not_a_clean_scan() {
+    // A mistyped --root must not read as "no findings".
+    let err = lint_workspace(Path::new("/nonexistent-starnuma-root")).expect_err("must fail");
+    assert!(err.to_string().contains("no Rust sources"), "got: {err}");
+}
+
+#[test]
+fn renderers_cover_every_finding() {
+    let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
+    let human = render_human(&findings);
+    assert!(human.contains("6 finding(s)"), "summary in: {human}");
+    assert!(human.contains("error[SN004]"));
+    let json = render_json(&findings);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert_eq!(json.matches("\"code\"").count(), 6);
+}

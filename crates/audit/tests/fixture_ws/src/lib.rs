@@ -1,0 +1,28 @@
+// A deliberately dirty crate root, scanned by the audit integration tests.
+// It is not part of the cargo build (no Cargo.toml): it only exists on disk.
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn timed() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn unordered() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new()
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // audit:allow(SN001) fixture: the marker must silence the next line.
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -25,7 +25,12 @@ fn main() {
         "extension: DESIGN.md §5 (not in the paper); compares hotness-only, \
          sharing-only, and random pool fill against full Algorithm 1 (T16)",
     );
-    let workloads = [Workload::Bfs, Workload::Tc, Workload::Masstree, Workload::Tpcc];
+    let workloads = [
+        Workload::Bfs,
+        Workload::Tc,
+        Workload::Masstree,
+        Workload::Tpcc,
+    ];
     let policies: [(&str, MigrationMode); 4] = [
         ("T16 (full)", MigrationMode::Threshold { t0: false }),
         (

@@ -18,10 +18,11 @@ fn main() {
     let trace = gen.generate_phase(s.instructions_per_phase * s.phases as u64);
     let h = SharingHistogram::from_trace_with_truth(&trace, |p| gen.page_sharers(p).len() as u32);
 
-    println!(
-        "\n(a) distribution of page sharing degree + (b) accesses per bin\n"
+    println!("\n(a) distribution of page sharing degree + (b) accesses per bin\n");
+    print_header(
+        "sharers",
+        &["pages", "accesses", "rw-share", "paper(a)", "paper(b)"],
     );
-    print_header("sharers", &["pages", "accesses", "rw-share", "paper(a)", "paper(b)"]);
     let paper_pages = ["17%", "61%", "15%", "5%", "2%"];
     let paper_accesses = ["8%", "14%", "10%", "32%", "36%"];
     for (i, bin) in h.bins().iter().enumerate() {

@@ -13,17 +13,37 @@ fn main() {
     let mem_base = SystemParams::full_scale_starnuma().mem_base;
     println!();
     println!("{:<36} {:>8}", "component (roundtrip)", "latency");
-    println!("{:<36} {:>8}", "CPU-side CXL port", format!("{}", b.cpu_port));
-    println!("{:<36} {:>8}", "MHD-side CXL port", format!("{}", b.mhd_port));
+    println!(
+        "{:<36} {:>8}",
+        "CPU-side CXL port",
+        format!("{}", b.cpu_port)
+    );
+    println!(
+        "{:<36} {:>8}",
+        "MHD-side CXL port",
+        format!("{}", b.mhd_port)
+    );
     println!("{:<36} {:>8}", "retimer", format!("{}", b.retimer));
-    println!("{:<36} {:>8}", "link flight (both directions)", format!("{}", b.flight));
+    println!(
+        "{:<36} {:>8}",
+        "link flight (both directions)",
+        format!("{}", b.flight)
+    );
     println!(
         "{:<36} {:>8}",
         "MHD NoC + arbitration + directory",
         format!("{}", b.mhd_internal)
     );
-    println!("{:<36} {:>8}", "= pool access penalty", format!("{}", b.total()));
-    println!("{:<36} {:>8}", "+ on-processor time and DRAM", format!("{mem_base}"));
+    println!(
+        "{:<36} {:>8}",
+        "= pool access penalty",
+        format!("{}", b.total())
+    );
+    println!(
+        "{:<36} {:>8}",
+        "+ on-processor time and DRAM",
+        format!("{mem_base}")
+    );
     println!(
         "{:<36} {:>8}",
         "= end-to-end unloaded pool access",

@@ -18,8 +18,16 @@ fn main() {
     let avg3 = m.average_three_hop_transfer();
     let hop4 = m.four_hop_pool_transfer();
     println!();
-    println!("{:<46} {:>8}", "3-hop socket-home transfer (avg over R,H,O)", format!("{avg3}"));
-    println!("{:<46} {:>8}", "4-hop transfer via the pool", format!("{hop4}"));
+    println!(
+        "{:<46} {:>8}",
+        "3-hop socket-home transfer (avg over R,H,O)",
+        format!("{avg3}")
+    );
+    println!(
+        "{:<46} {:>8}",
+        "4-hop transfer via the pool",
+        format!("{hop4}")
+    );
     println!(
         "{:<46} {:>8}",
         "BT_Socket accounting value (+80 ns mem+dir)",

@@ -49,7 +49,14 @@ fn main() {
     println!("\n(b) AMAT (ns): unloaded + contention = total\n");
     print_header(
         "wkld",
-        &["base-unl", "base-cont", "base-tot", "star-unl", "star-cont", "star-tot"],
+        &[
+            "base-unl",
+            "base-cont",
+            "base-tot",
+            "star-unl",
+            "star-cont",
+            "star-tot",
+        ],
     );
     let mut amat_reductions = Vec::new();
     for w in Workload::ALL {

@@ -18,10 +18,7 @@ fn main() {
     );
     let mut lab = Lab::new();
     println!();
-    print_header(
-        "wkld",
-        &["base-static", "star-dyn", "star-static"],
-    );
+    print_header("wkld", &["base-static", "star-dyn", "star-static"]);
     let mut base_static = Vec::new();
     let mut star_dyn = Vec::new();
     let mut star_static = Vec::new();

@@ -31,8 +31,14 @@ fn main() {
     }
     let by16 = h.bins()[4].page_frac;
     let by8plus = h.bins()[3].page_frac + h.bins()[4].page_frac;
-    println!("\npages shared by all 16 sockets: {:.0}%  (paper: 60%)", by16 * 100.0);
-    println!("pages shared by 8+ sockets:     {:.0}%  (paper: 80%)", by8plus * 100.0);
+    println!(
+        "\npages shared by all 16 sockets: {:.0}%  (paper: 60%)",
+        by16 * 100.0
+    );
+    println!(
+        "pages shared by 8+ sockets:     {:.0}%  (paper: 80%)",
+        by8plus * 100.0
+    );
     println!(
         "R/W share of 16-sharer accesses: {:.0}%  (paper: ~0, read-only)",
         h.bins()[4].rw_access_frac * 100.0

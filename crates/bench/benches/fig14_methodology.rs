@@ -10,9 +10,7 @@
 //! detailed socket, 15 light IPC-regulated injectors) is compared against
 //! the default all-detailed model.
 
-use starnuma::{
-    Experiment, Modality, Runner, ScaleConfig, ScalePreset, SystemKind, Workload,
-};
+use starnuma::{Experiment, Modality, Runner, ScaleConfig, ScalePreset, SystemKind, Workload};
 use starnuma_bench::{banner, fmt_speedup, print_header, print_row, scale};
 use starnuma_types::SocketId;
 

@@ -3,9 +3,7 @@
 //! bench builds the 8-chassis, 32-socket machine and measures whether the
 //! pool still pays off at the higher pool latency.
 
-use starnuma::{
-    Experiment, MigrationMode, Runner, ScaleConfig, SystemKind, Workload,
-};
+use starnuma::{Experiment, MigrationMode, Runner, ScaleConfig, SystemKind, Workload};
 use starnuma_bench::{banner, fmt_speedup, print_header, print_row, scale};
 use starnuma_topology::SystemParams;
 
@@ -42,7 +40,10 @@ fn main() {
     let s = scale();
     let workloads = [Workload::Bfs, Workload::Tc, Workload::Masstree];
     println!();
-    print_header("wkld", &["16s spdup", "32s spdup", "32s 2-hop%", "32s pool%"]);
+    print_header(
+        "wkld",
+        &["16s spdup", "32s spdup", "32s 2-hop%", "32s pool%"],
+    );
     for w in workloads {
         let base16 = Experiment::new(w, SystemKind::Baseline, s.clone()).run();
         let star16 = Experiment::new(w, SystemKind::StarNuma, s.clone()).run();
@@ -53,8 +54,14 @@ fn main() {
             &[
                 fmt_speedup(star16.ipc / base16.ipc),
                 fmt_speedup(star32.ipc / base32.ipc),
-                format!("{:.0}%", star32.class_frac(starnuma::AccessClass::TwoHop) * 100.0),
-                format!("{:.0}%", star32.class_frac(starnuma::AccessClass::Pool) * 100.0),
+                format!(
+                    "{:.0}%",
+                    star32.class_frac(starnuma::AccessClass::TwoHop) * 100.0
+                ),
+                format!(
+                    "{:.0}%",
+                    star32.class_frac(starnuma::AccessClass::Pool) * 100.0
+                ),
             ],
         );
         assert!(

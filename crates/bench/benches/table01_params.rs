@@ -11,7 +11,10 @@ fn print_params(title: &str, p: &SystemParams) {
     println!("{:<38} {}", "total cores", p.total_cores());
     println!("{:<38} {}", "chassis", p.num_chassis());
     println!("{:<38} {}", "UPI link bandwidth (per direction)", p.upi_bw);
-    println!("{:<38} {}", "NUMALink bandwidth (per direction)", p.numalink_bw);
+    println!(
+        "{:<38} {}",
+        "NUMALink bandwidth (per direction)", p.numalink_bw
+    );
     println!(
         "{:<38} {}",
         "NUMALinks per chassis pair", p.numalinks_per_chassis_pair
@@ -29,7 +32,10 @@ fn print_params(title: &str, p: &SystemParams) {
         p.mem_base + p.inter_chassis_one_way * 2.0
     );
     if p.has_pool {
-        println!("{:<38} {}", "CXL bandwidth per socket (effective)", p.cxl_bw);
+        println!(
+            "{:<38} {}",
+            "CXL bandwidth per socket (effective)", p.cxl_bw
+        );
         println!("{:<38} {}", "pool memory bandwidth", p.pool_mem_bw);
         println!(
             "{:<38} {}",
@@ -56,7 +62,10 @@ fn main() {
 
     let full = SystemParams::full_scale_starnuma();
     assert_eq!(full.total_cores(), 448);
-    assert_eq!((full.mem_base + full.inter_chassis_one_way * 2.0).raw(), 360.0);
+    assert_eq!(
+        (full.mem_base + full.inter_chassis_one_way * 2.0).raw(),
+        360.0
+    );
     let scaled = SystemParams::scaled_starnuma();
     assert_eq!(scaled.total_cores(), 64);
     assert_eq!(scaled.upi_bw.raw(), 3.0);

@@ -29,7 +29,14 @@ fn main() {
     println!();
     print_header(
         "wkld",
-        &["IPC(16s)", "IPC(1s)", "MPKI", "paperIPC", "paper1s", "paperMPKI"],
+        &[
+            "IPC(16s)",
+            "IPC(1s)",
+            "MPKI",
+            "paperIPC",
+            "paper1s",
+            "paperMPKI",
+        ],
     );
     let mut degradations = Vec::new();
     for &(w, p_ipc, p_single, p_mpki) in paper {
@@ -52,10 +59,9 @@ fn main() {
     for (w, d) in &degradations {
         println!("  {:<10} {:.1}x", w.name(), d);
     }
-    let max = degradations
-        .iter()
-        .map(|(_, d)| *d)
-        .fold(0.0f64, f64::max);
+    let max = degradations.iter().map(|(_, d)| *d).fold(0.0f64, f64::max);
     assert!(max > 2.0, "the paper's 2-10x NUMA gap must reappear");
-    println!("\npaper: \"The 2-10x IPC gap ... illustrates the performance impact of NUMA effects.\"");
+    println!(
+        "\npaper: \"The 2-10x IPC gap ... illustrates the performance impact of NUMA effects.\""
+    );
 }

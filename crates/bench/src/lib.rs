@@ -14,7 +14,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use starnuma::{Experiment, RunResult, ScaleConfig, SystemKind, Workload};
 
@@ -40,7 +40,7 @@ pub fn scale() -> ScaleConfig {
 /// (workload, system) pair twice.
 #[derive(Default)]
 pub struct Lab {
-    cache: HashMap<(Workload, SystemKind), RunResult>,
+    cache: BTreeMap<(Workload, SystemKind), RunResult>,
 }
 
 impl Lab {

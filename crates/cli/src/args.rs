@@ -63,9 +63,9 @@ impl Args {
                 args.switches.push(name.to_string());
                 continue;
             }
-            let value = iter.next().ok_or_else(|| {
-                ArgError(format!("flag --{name} requires a value"))
-            })?;
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{name} requires a value")))?;
             if args.flags.insert(name.to_string(), value).is_some() {
                 return Err(ArgError(format!("flag --{name} given twice")));
             }
@@ -128,9 +128,12 @@ impl Args {
     ///
     /// Returns [`ArgError`] naming the first unknown flag.
     pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
-        for name in self.flags.keys().map(String::as_str).chain(
-            self.switches.iter().map(String::as_str),
-        ) {
+        for name in self
+            .flags
+            .keys()
+            .map(String::as_str)
+            .chain(self.switches.iter().map(String::as_str))
+        {
             if !allowed.contains(&name) {
                 return Err(ArgError(format!(
                     "unknown flag --{name} for command '{}'",

@@ -2,6 +2,7 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
 
 use starnuma::report::{run_result_json, Json};
 use starnuma::{
@@ -67,8 +68,7 @@ pub fn parse_scale(args: &Args) -> Result<ScaleConfig, ArgError> {
         }
     };
     scale.phases = args.get_u64("phases", scale.phases as u64)? as usize;
-    scale.instructions_per_phase =
-        args.get_u64("instructions", scale.instructions_per_phase)?;
+    scale.instructions_per_phase = args.get_u64("instructions", scale.instructions_per_phase)?;
     scale.seed = args.get_u64("seed", scale.seed)?;
     Ok(scale)
 }
@@ -76,7 +76,13 @@ pub fn parse_scale(args: &Args) -> Result<ScaleConfig, ArgError> {
 /// `starnuma run --workload W --system S [--replication FRAC] [--json]`
 pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
-        "workload", "system", "scale", "phases", "instructions", "seed", "json",
+        "workload",
+        "system",
+        "scale",
+        "phases",
+        "instructions",
+        "seed",
+        "json",
         "replication",
     ])?;
     let workload = parse_workload(args.require("workload")?)?;
@@ -85,9 +91,9 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
     let result = match args.get("replication") {
         None => Experiment::new(workload, system, scale).run(),
         Some(frac) => {
-            let frac: f64 = frac.parse().map_err(|_| {
-                ArgError(format!("--replication expects a fraction, got '{frac}'"))
-            })?;
+            let frac: f64 = frac
+                .parse()
+                .map_err(|_| ArgError(format!("--replication expects a fraction, got '{frac}'")))?;
             if !(0.0..=1.0).contains(&frac) {
                 return Err(ArgError("--replication must be in [0, 1]".into()));
             }
@@ -138,7 +144,13 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
 /// `starnuma compare --workload W [--systems a,b,...] [--json]`
 pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
-        "workload", "systems", "scale", "phases", "instructions", "seed", "json",
+        "workload",
+        "systems",
+        "scale",
+        "phases",
+        "instructions",
+        "seed",
+        "json",
     ])?;
     let workload = parse_workload(args.require("workload")?)?;
     let systems: Vec<SystemKind> = args
@@ -187,15 +199,26 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
 /// `starnuma sweep --system S [--workloads a,b,...]`
 pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
-        "system", "workloads", "scale", "phases", "instructions", "seed",
+        "system",
+        "workloads",
+        "scale",
+        "phases",
+        "instructions",
+        "seed",
     ])?;
     let system = parse_system(args.get_or("system", "starnuma"))?;
     let workloads: Vec<Workload> = match args.get("workloads") {
         None => Workload::ALL.to_vec(),
-        Some(list) => list.split(',').map(parse_workload).collect::<Result<_, _>>()?,
+        Some(list) => list
+            .split(',')
+            .map(parse_workload)
+            .collect::<Result<_, _>>()?,
     };
     let scale = parse_scale(args)?;
-    println!("speedup of {system} over {} per workload:\n", SystemKind::Baseline);
+    println!(
+        "speedup of {system} over {} per workload:\n",
+        SystemKind::Baseline
+    );
     let mut rows: Vec<(&str, f64)> = Vec::new();
     for w in &workloads {
         let base = Experiment::new(*w, SystemKind::Baseline, scale.clone()).run();
@@ -245,12 +268,19 @@ pub fn cmd_topology(args: &Args) -> Result<(), ArgError> {
         m.demand_access(s0, Location::Socket(SocketId::new(4)))
     );
     println!("  pool    {}", m.demand_access(s0, Location::Pool));
-    println!("block transfers: 3-hop avg {}, 4-hop via pool {}",
-        m.average_three_hop_transfer(), m.four_hop_pool_transfer());
+    println!(
+        "block transfers: 3-hop avg {}, 4-hop via pool {}",
+        m.average_three_hop_transfer(),
+        m.four_hop_pool_transfer()
+    );
     let b = CxlLatencyBreakdown::paper();
     println!(
         "CXL breakdown: {} + {} + {} + {} + {} = {} penalty",
-        b.cpu_port, b.mhd_port, b.retimer, b.flight, b.mhd_internal,
+        b.cpu_port,
+        b.mhd_port,
+        b.retimer,
+        b.flight,
+        b.mhd_internal,
         b.total()
     );
     Ok(())
@@ -290,8 +320,8 @@ pub fn cmd_trace(args: &Args) -> Result<(), ArgError> {
             let sockets = args.get_u64("sockets", 16)? as usize;
             let mut gen = TraceGenerator::new(&workload.profile(), sockets, 4, seed);
             let phase = gen.generate_phase(instructions);
-            let file = File::create(out)
-                .map_err(|e| ArgError(format!("cannot create {out}: {e}")))?;
+            let file =
+                File::create(out).map_err(|e| ArgError(format!("cannot create {out}: {e}")))?;
             write_phase(BufWriter::new(file), &phase)
                 .map_err(|e| ArgError(format!("write failed: {e}")))?;
             println!(
@@ -304,8 +334,8 @@ pub fn cmd_trace(args: &Args) -> Result<(), ArgError> {
         Some("info") => {
             args.expect_only(&["in"])?;
             let path = args.require("in")?;
-            let file = File::open(path)
-                .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+            let file =
+                File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
             let phase = read_phase(BufReader::new(file))
                 .map_err(|e| ArgError(format!("read failed: {e}")))?;
             let h = SharingHistogram::from_trace(&phase, 4);
@@ -329,5 +359,32 @@ pub fn cmd_trace(args: &Args) -> Result<(), ArgError> {
         other => Err(ArgError(format!(
             "trace needs a subcommand gen|info, got {other:?}"
         ))),
+    }
+}
+
+/// `starnuma lint [--root <path>] [--format human|json] [--json]`: runs the
+/// Pass 1 source lints (SN001–SN004) over a workspace tree and exits
+/// non-zero when anything is found. Findings are not an `ArgError`: the
+/// invocation was fine, so no usage dump — just the report and the code.
+pub fn cmd_lint(args: &Args) -> Result<ExitCode, ArgError> {
+    args.expect_only(&["root", "format", "json"])?;
+    let root = std::path::PathBuf::from(args.get_or("root", "."));
+    let json = args.switch("json")
+        || match args.get_or("format", "human") {
+            "human" => false,
+            "json" => true,
+            other => return Err(ArgError(format!("unknown format '{other}' (human|json)"))),
+        };
+    let findings = starnuma_audit::lint_workspace(&root)
+        .map_err(|e| ArgError(format!("cannot scan {}: {e}", root.display())))?;
+    if json {
+        println!("{}", starnuma_audit::render_json(&findings));
+    } else {
+        println!("{}", starnuma_audit::render_human(&findings));
+    }
+    if findings.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
     }
 }

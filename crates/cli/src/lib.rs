@@ -8,6 +8,7 @@
 //! starnuma workloads
 //! starnuma trace gen  --workload bfs --out bfs.sntr [--instructions N]
 //! starnuma trace info --in bfs.sntr
+//! starnuma lint     [--root .] [--format human|json]
 //! ```
 //!
 //! All simulation commands accept `--scale quick|default|full`,
@@ -16,30 +17,35 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::process::ExitCode;
+
 mod args;
 mod commands;
 
 pub use args::{ArgError, Args};
 
-/// Dispatches one invocation.
+/// Dispatches one invocation and returns the process exit code to use.
+/// Commands that ran but found problems (`lint` with findings) report it
+/// through the code, not through an [`ArgError`].
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] for unknown commands, bad flags, or I/O failures
 /// (trace files).
-pub fn run(raw: Vec<String>) -> Result<(), ArgError> {
+pub fn run(raw: Vec<String>) -> Result<ExitCode, ArgError> {
     if raw.is_empty() || raw[0] == "help" || raw.iter().any(|a| a == "--help") {
         println!("{}", usage());
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let args = Args::parse(raw)?;
     match args.command() {
-        "run" => commands::cmd_run(&args),
-        "compare" => commands::cmd_compare(&args),
-        "sweep" => commands::cmd_sweep(&args),
-        "topology" => commands::cmd_topology(&args),
-        "workloads" => commands::cmd_workloads(&args),
-        "trace" => commands::cmd_trace(&args),
+        "run" => commands::cmd_run(&args).map(|()| ExitCode::SUCCESS),
+        "compare" => commands::cmd_compare(&args).map(|()| ExitCode::SUCCESS),
+        "sweep" => commands::cmd_sweep(&args).map(|()| ExitCode::SUCCESS),
+        "topology" => commands::cmd_topology(&args).map(|()| ExitCode::SUCCESS),
+        "workloads" => commands::cmd_workloads(&args).map(|()| ExitCode::SUCCESS),
+        "trace" => commands::cmd_trace(&args).map(|()| ExitCode::SUCCESS),
+        "lint" => commands::cmd_lint(&args),
         other => Err(ArgError(format!("unknown command '{other}'"))),
     }
 }
@@ -70,6 +76,9 @@ commands:
               --workload <name> --out <path> [--instructions N] [--seed N]
   trace info inspect a trace file
               --in <path>
+  lint      run the SN001–SN004 source lints over a workspace tree
+              --root <path>            (default .)
+              --format human|json      (default human; --json is a shorthand)
 
 common simulation flags:
   --scale quick|default|full   --phases N   --instructions N   --seed N
@@ -82,7 +91,7 @@ systems: baseline, first-touch, isobw, 2xbw, baseline-static,
 mod tests {
     use super::*;
 
-    fn run_tokens(tokens: &[&str]) -> Result<(), ArgError> {
+    fn run_tokens(tokens: &[&str]) -> Result<ExitCode, ArgError> {
         run(tokens.iter().map(|s| s.to_string()).collect())
     }
 
@@ -122,8 +131,18 @@ mod tests {
     #[test]
     fn run_executes_a_tiny_experiment() {
         assert!(run_tokens(&[
-            "run", "--workload", "poa", "--system", "starnuma", "--scale", "quick",
-            "--phases", "1", "--instructions", "4000", "--json",
+            "run",
+            "--workload",
+            "poa",
+            "--system",
+            "starnuma",
+            "--scale",
+            "quick",
+            "--phases",
+            "1",
+            "--instructions",
+            "4000",
+            "--json",
         ])
         .is_ok());
     }
@@ -135,8 +154,14 @@ mod tests {
         let path = dir.join("t.sntr");
         let path_s = path.to_str().expect("utf-8 path");
         assert!(run_tokens(&[
-            "trace", "gen", "--workload", "tpcc", "--out", path_s,
-            "--instructions", "3000",
+            "trace",
+            "gen",
+            "--workload",
+            "tpcc",
+            "--out",
+            path_s,
+            "--instructions",
+            "3000",
         ])
         .is_ok());
         assert!(run_tokens(&["trace", "info", "--in", path_s]).is_ok());

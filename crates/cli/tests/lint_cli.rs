@@ -1,0 +1,68 @@
+//! The `starnuma lint` subcommand, exercised through the real binary so the
+//! exit-code contract is tested end to end.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn starnuma() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_starnuma"))
+}
+
+fn dirty_fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../audit/tests/fixture_ws")
+}
+
+#[test]
+fn lint_exits_nonzero_on_the_dirty_fixture() {
+    let out = starnuma()
+        .args(["lint", "--root", dirty_fixture().to_str().expect("utf-8")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "dirty tree must fail the lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SN001"), "stdout: {stdout}");
+    assert!(stdout.contains("SN004"), "stdout: {stdout}");
+}
+
+#[test]
+fn lint_json_format_emits_an_array() {
+    let out = starnuma()
+        .args([
+            "lint",
+            "--root",
+            dirty_fixture().to_str().expect("utf-8"),
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['), "stdout: {stdout}");
+    assert!(stdout.contains("\"code\":\"SN001\""), "stdout: {stdout}");
+}
+
+#[test]
+fn lint_exits_zero_on_the_workspace_itself() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = starnuma()
+        .args(["lint", "--root", root.to_str().expect("utf-8")])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "workspace must stay lint-clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no findings"));
+}
+
+#[test]
+fn lint_rejects_unknown_format() {
+    let out = starnuma()
+        .args(["lint", "--format", "yaml"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown format"));
+}

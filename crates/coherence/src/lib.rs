@@ -36,7 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use starnuma_types::{BlockAddr, Location, SocketId};
 
@@ -100,7 +100,7 @@ struct Entry {
 #[derive(Clone, Debug)]
 pub struct Directory {
     num_sockets: usize,
-    entries: HashMap<BlockAddr, Entry>,
+    entries: BTreeMap<BlockAddr, Entry>,
     stats: DirectoryStats,
 }
 
@@ -118,7 +118,7 @@ impl Directory {
         );
         Directory {
             num_sockets,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             stats: DirectoryStats::default(),
         }
     }
@@ -379,7 +379,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use starnuma_types::SimRng;
 
     #[derive(Clone, Debug)]
     struct Op {
@@ -389,24 +389,25 @@ mod proptests {
         evict: bool,
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        (0u64..8, 0u16..16, proptest::bool::ANY, proptest::bool::weighted(0.2)).prop_map(
-            |(block, socket, write, evict)| Op {
-                block,
-                socket,
-                write,
-                evict,
-            },
-        )
+    fn random_op(rng: &mut SimRng) -> Op {
+        Op {
+            block: rng.gen_range(0u64..8),
+            socket: rng.gen_range(0u16..16),
+            write: rng.gen_bool(0.5),
+            evict: rng.gen_bool(0.2),
+        }
     }
 
-    proptest! {
-        /// Protocol invariant: whenever a block has a Modified owner, the
-        /// owner is its only sharer (single-writer / multiple-reader).
-        #[test]
-        fn single_writer_invariant(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+    /// Protocol invariant: whenever a block has a Modified owner, the
+    /// owner is its only sharer (single-writer / multiple-reader).
+    #[test]
+    fn single_writer_invariant() {
+        let mut rng = SimRng::seed_from_u64(0xc04e);
+        for _case in 0..64 {
+            let len = rng.gen_range(1usize..300);
             let mut d = Directory::new(16);
-            for op in ops {
+            for _ in 0..len {
+                let op = random_op(&mut rng);
                 let b = BlockAddr::new(op.block);
                 let sid = SocketId::new(op.socket);
                 if op.evict {
@@ -415,17 +416,22 @@ mod proptests {
                     d.access(b, sid, op.write, Location::Pool);
                 }
                 if let Some(owner) = d.owner(b) {
-                    prop_assert_eq!(d.sharers(b), vec![owner]);
+                    assert_eq!(d.sharers(b), vec![owner]);
                 }
             }
         }
+    }
 
-        /// Invalidations never include the requester, and after a write the
-        /// requester is the sole sharer.
-        #[test]
-        fn writes_leave_exactly_one_sharer(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+    /// Invalidations never include the requester, and after a write the
+    /// requester is the sole sharer.
+    #[test]
+    fn writes_leave_exactly_one_sharer() {
+        let mut rng = SimRng::seed_from_u64(0xc04f);
+        for _case in 0..64 {
+            let len = rng.gen_range(1usize..200);
             let mut d = Directory::new(16);
-            for op in ops {
+            for _ in 0..len {
+                let op = random_op(&mut rng);
                 let b = BlockAddr::new(op.block);
                 let sid = SocketId::new(op.socket);
                 if op.evict {
@@ -433,9 +439,9 @@ mod proptests {
                     continue;
                 }
                 let out = d.access(b, sid, op.write, Location::Socket(SocketId::new(0)));
-                prop_assert!(!out.invalidations.contains(&sid));
+                assert!(!out.invalidations.contains(&sid));
                 if op.write {
-                    prop_assert_eq!(d.sharers(b), vec![sid]);
+                    assert_eq!(d.sharers(b), vec![sid]);
                 }
             }
         }

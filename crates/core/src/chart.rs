@@ -124,10 +124,7 @@ mod tests {
     #[test]
     fn degenerate_values_render_empty() {
         let chart = render_bars(
-            &[
-                Bar::new("nan", f64::NAN, "-"),
-                Bar::new("neg", -3.0, "-"),
-            ],
+            &[Bar::new("nan", f64::NAN, "-"), Bar::new("neg", -3.0, "-")],
             10,
             None,
         );

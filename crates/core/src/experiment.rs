@@ -21,7 +21,7 @@ use crate::scale::ScaleConfig;
 /// | `StarNumaCxlSwitch` | §V-C 190 ns pool penalty (CXL switch) |
 /// | `StarNumaSmallPool` | §V-E pool capacity 1/17 of footprint |
 /// | `StarNumaStaticOracle` | §V-B static oracular placement with pool |
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum SystemKind {
     /// Baseline 16-socket system with perfect-knowledge dynamic migration,
     /// tuned per workload as in §IV-C: the better of the oracle policy and
@@ -117,9 +117,9 @@ impl SystemKind {
 
     fn migration_mode(self) -> MigrationMode {
         match self {
-            SystemKind::Baseline
-            | SystemKind::BaselineIsoBw
-            | SystemKind::Baseline2xBw => MigrationMode::OracleDynamic,
+            SystemKind::Baseline | SystemKind::BaselineIsoBw | SystemKind::Baseline2xBw => {
+                MigrationMode::OracleDynamic
+            }
             SystemKind::BaselineFirstTouch => MigrationMode::FirstTouchOnly,
             SystemKind::BaselineStaticOracle | SystemKind::StarNumaStaticOracle => {
                 MigrationMode::StaticOracle
@@ -230,7 +230,11 @@ pub fn speedup_vs_baseline(
 ) -> (f64, RunResult, RunResult) {
     let base = Experiment::new(workload, SystemKind::Baseline, scale.clone()).run();
     let sys = Experiment::new(workload, system, scale.clone()).run();
-    let speedup = if base.ipc > 0.0 { sys.ipc / base.ipc } else { 0.0 };
+    let speedup = if base.ipc > 0.0 {
+        sys.ipc / base.ipc
+    } else {
+        0.0
+    };
     (speedup, sys, base)
 }
 
@@ -250,8 +254,12 @@ mod tests {
 
     #[test]
     fn iso_bw_raises_links() {
-        let iso = Experiment::new(Workload::Bfs, SystemKind::BaselineIsoBw, ScaleConfig::quick())
-            .run_config();
+        let iso = Experiment::new(
+            Workload::Bfs,
+            SystemKind::BaselineIsoBw,
+            ScaleConfig::quick(),
+        )
+        .run_config();
         let base =
             Experiment::new(Workload::Bfs, SystemKind::Baseline, ScaleConfig::quick()).run_config();
         assert!(iso.params.upi_bw.raw() > base.params.upi_bw.raw());

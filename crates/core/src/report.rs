@@ -154,7 +154,10 @@ mod tests {
         assert_eq!(Json::Num(3.0).render(), "3");
         assert_eq!(Json::Num(1.5).render(), "1.5");
         assert_eq!(Json::Bool(true).render(), "true");
-        assert_eq!(Json::Str("a\"b\\c\nd".into()).render(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).render(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
         assert_eq!(
             Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)]).render(),
             "[1,2]"

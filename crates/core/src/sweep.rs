@@ -91,9 +91,18 @@ mod tests {
     #[test]
     fn break_even_interpolates() {
         let pts = [
-            SweepPoint { x: 50.0, speedup: 1.5 },
-            SweepPoint { x: 150.0, speedup: 1.1 },
-            SweepPoint { x: 250.0, speedup: 0.9 },
+            SweepPoint {
+                x: 50.0,
+                speedup: 1.5,
+            },
+            SweepPoint {
+                x: 150.0,
+                speedup: 1.1,
+            },
+            SweepPoint {
+                x: 250.0,
+                speedup: 0.9,
+            },
         ];
         let be = break_even(&pts).expect("crosses 1.0");
         assert!((be - 200.0).abs() < 1e-9);
@@ -102,8 +111,14 @@ mod tests {
     #[test]
     fn break_even_none_when_always_winning() {
         let pts = [
-            SweepPoint { x: 1.0, speedup: 1.5 },
-            SweepPoint { x: 2.0, speedup: 1.2 },
+            SweepPoint {
+                x: 1.0,
+                speedup: 1.5,
+            },
+            SweepPoint {
+                x: 2.0,
+                speedup: 1.2,
+            },
         ];
         assert!(break_even(&pts).is_none());
     }

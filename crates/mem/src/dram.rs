@@ -208,7 +208,7 @@ mod tests {
         let mut ch = channel();
         ch.access(Cycles::new(0), BlockAddr::new(0)); // row 0 → bank 0
         let wait = ch.access(Cycles::new(0), BlockAddr::new(32)); // row 1 → bank 1
-        // Only possible wait is the shared bus, which is cheaper than a bank.
+                                                                  // Only possible wait is the shared bus, which is cheaper than a bank.
         assert!(wait < DramTimings::ddr5_4800().bank_hit_occupancy);
     }
 

@@ -16,10 +16,7 @@
 //!
 //! Each produces [`MigrationPlan`]s compatible with the main pipeline.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-
-use starnuma_types::{Location, RegionId};
+use starnuma_types::{Location, RegionId, SimRng};
 
 use crate::page_map::PageMap;
 use crate::policy::{MigrationPlan, PageMove};
@@ -49,7 +46,7 @@ impl AblationPolicy {
         meta: &MetadataRegion,
         map: &mut PageMap,
         limit_pages: u64,
-        rng: &mut SmallRng,
+        rng: &mut SimRng,
     ) -> MigrationPlan {
         // Rank candidate regions according to the ablated criterion.
         let mut candidates: Vec<(u64, RegionId)> = meta
@@ -62,11 +59,10 @@ impl AblationPolicy {
             .filter_map(|(region, entry)| {
                 let score = match self {
                     AblationPolicy::HotnessOnly => Some(entry.accesses),
-                    AblationPolicy::SharingOnly { min_sharers } => {
-                        (entry.sharer_count() >= *min_sharers)
-                            .then(|| u64::from(entry.sharer_count()))
-                    }
-                    AblationPolicy::RandomPool => Some(rng.gen::<u32>() as u64),
+                    AblationPolicy::SharingOnly { min_sharers } => (entry.sharer_count()
+                        >= *min_sharers)
+                        .then(|| u64::from(entry.sharer_count())),
+                    AblationPolicy::RandomPool => Some(u64::from(rng.gen_u32())),
                 };
                 score.map(|s| (s, region))
             })
@@ -109,11 +105,10 @@ impl AblationPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use starnuma_types::SocketId;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(3)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(3)
     }
 
     /// 4 regions; region 0 hot+narrow, region 1 cold+wide, region 2 warm+wide.
@@ -148,8 +143,8 @@ mod tests {
     #[test]
     fn sharing_only_pools_widest_first() {
         let mut m = map(1);
-        let plan = AblationPolicy::SharingOnly { min_sharers: 8 }
-            .decide(&meta(), &mut m, 128, &mut rng());
+        let plan =
+            AblationPolicy::SharingOnly { min_sharers: 8 }.decide(&meta(), &mut m, 128, &mut rng());
         assert_eq!(plan.to_pool(), 128);
         assert_eq!(
             m.region_location(RegionId::new(1)),
@@ -161,8 +156,12 @@ mod tests {
     #[test]
     fn sharing_only_respects_threshold() {
         let mut m = map(4);
-        let plan = AblationPolicy::SharingOnly { min_sharers: 8 }
-            .decide(&meta(), &mut m, 1_000, &mut rng());
+        let plan = AblationPolicy::SharingOnly { min_sharers: 8 }.decide(
+            &meta(),
+            &mut m,
+            1_000,
+            &mut rng(),
+        );
         // Regions 1 (16 sharers) and 2 (12) qualify; region 0 (2) does not.
         assert_eq!(plan.to_pool(), 256);
         assert!(!m.region_location(RegionId::new(0)).is_pool());

@@ -45,6 +45,6 @@ pub use oracle::{
     PageAccessCounts,
 };
 pub use page_map::PageMap;
-pub use replication::{ReplicaMap, ReplicationConfig, ReplicationStats};
 pub use policy::{MigrationPlan, PageMove, PolicyConfig, ThresholdPolicy};
+pub use replication::{ReplicaMap, ReplicationConfig, ReplicationStats};
 pub use tracker::{MetadataRegion, TrackerEntry};

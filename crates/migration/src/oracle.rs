@@ -1,7 +1,7 @@
 //! Oracle policies: the favored baseline of §IV-C (zero-cost perfect
 //! per-page knowledge) and the §V-B a-priori static placement.
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 use starnuma_trace::PhaseTrace;
 use starnuma_types::{Location, PageId, SocketId};
@@ -21,6 +21,15 @@ pub struct PageAccessCounts {
 }
 
 impl PageAccessCounts {
+    /// An all-zero tally: the identity element for
+    /// [`PageAccessCounts::merge`].
+    pub fn new(footprint_pages: u64, num_sockets: usize) -> Self {
+        PageAccessCounts {
+            num_sockets,
+            counts: vec![0u32; footprint_pages as usize * num_sockets],
+        }
+    }
+
     /// Tallies a phase trace.
     pub fn from_trace(
         trace: &PhaseTrace,
@@ -170,7 +179,12 @@ pub fn static_oracle_placement(
     pool_sharer_threshold: u32,
 ) -> PageMap {
     let sharer_of = |p: PageId| counts.sharer_count(p);
-    static_oracle_placement_with_sharers(counts, pool_capacity_pages, pool_sharer_threshold, sharer_of)
+    static_oracle_placement_with_sharers(
+        counts,
+        pool_capacity_pages,
+        pool_sharer_threshold,
+        sharer_of,
+    )
 }
 
 /// [`static_oracle_placement`] with an external ground-truth sharer count.
@@ -193,14 +207,14 @@ pub fn static_oracle_placement_with_sharers(
         .map(|p| (counts.total(p), p))
         .collect();
     pool_candidates.sort_unstable_by_key(|&(t, p)| (u64::MAX - t, p.pfn()));
-    let pooled: HashMap<PageId, ()> = pool_candidates
+    let pooled: BTreeSet<PageId> = pool_candidates
         .into_iter()
         .take(pool_capacity_pages as usize)
-        .map(|(_, p)| (p, ()))
+        .map(|(_, p)| p)
         .collect();
     let mut rr = 0u16;
     PageMap::from_fn(footprint, pool_capacity_pages, |page| {
-        if pooled.contains_key(&page) {
+        if pooled.contains(&page) {
             Location::Pool
         } else {
             match counts.best_socket(page) {
@@ -260,8 +274,14 @@ mod tests {
         // Page 0: socket 1 dominates (3 vs 1) → moves. Page 1: only 1 access
         // < threshold 2 → stays.
         assert_eq!(plan.total(), 1);
-        assert_eq!(map.location(PageId::new(0)), Location::Socket(SocketId::new(1)));
-        assert_eq!(map.location(PageId::new(1)), Location::Socket(SocketId::new(0)));
+        assert_eq!(
+            map.location(PageId::new(0)),
+            Location::Socket(SocketId::new(1))
+        );
+        assert_eq!(
+            map.location(PageId::new(1)),
+            Location::Socket(SocketId::new(0))
+        );
         assert_eq!(oracle.pages_migrated, 1);
     }
 
@@ -313,8 +333,14 @@ mod tests {
         let t = synthetic_trace(&[(0, 0), (4, 1), (4, 1)]);
         let c = PageAccessCounts::from_trace(&t, 3, 16, 4);
         let map = static_oracle_placement(&c, 0, 8);
-        assert_eq!(map.location(PageId::new(0)), Location::Socket(SocketId::new(0)));
-        assert_eq!(map.location(PageId::new(1)), Location::Socket(SocketId::new(1)));
+        assert_eq!(
+            map.location(PageId::new(0)),
+            Location::Socket(SocketId::new(0))
+        );
+        assert_eq!(
+            map.location(PageId::new(1)),
+            Location::Socket(SocketId::new(1))
+        );
         assert_eq!(map.pool_pages(), 0);
     }
 

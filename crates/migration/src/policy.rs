@@ -1,9 +1,6 @@
 //! Algorithm 1: threshold-based migration candidate selection.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-
-use starnuma_types::{Location, PageId, RegionId, REGION_PAGES};
+use starnuma_types::{Diagnostic, Location, PageId, RegionId, SimRng, REGION_PAGES};
 
 use crate::page_map::PageMap;
 use crate::tracker::MetadataRegion;
@@ -107,6 +104,48 @@ impl PolicyConfig {
             t0: true,
         }
     }
+
+    /// Pre-run validation of Algorithm 1's threshold structure (audit
+    /// Pass 2, `SN103`).
+    ///
+    /// The adaptive thresholds only make sense when their bounds nest:
+    /// `hi_min ≤ hi_init ≤ hi_max` and `lo_init ≤ lo_max`. A zero migration
+    /// limit is legal (it freezes placement) but almost always a mistake, so
+    /// it is reported as a warning.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        if !(self.hi_min <= self.hi_init && self.hi_init <= self.hi_max) {
+            out.push(Diagnostic::error(
+                "SN103",
+                "PolicyConfig.hi_init",
+                format!(
+                    "HI thresholds must nest as hi_min <= hi_init <= hi_max, got {} / {} / {}",
+                    self.hi_min, self.hi_init, self.hi_max
+                ),
+                "start from PolicyConfig::t16_scaled, which derives consistent bounds",
+            ));
+        }
+        if self.lo_init > self.lo_max {
+            out.push(Diagnostic::error(
+                "SN103",
+                "PolicyConfig.lo_init",
+                format!(
+                    "LO thresholds must nest as lo_init <= lo_max, got {} / {}",
+                    self.lo_init, self.lo_max
+                ),
+                "start from PolicyConfig::t16_scaled, which derives consistent bounds",
+            ));
+        }
+        if self.migration_limit_pages == 0 {
+            out.push(Diagnostic::warning(
+                "SN103",
+                "PolicyConfig.migration_limit_pages",
+                "migration limit of 0 pages: the policy can never move a page",
+                "set a positive per-phase limit (the paper migrates up to 16 K pages/phase)",
+            ));
+        }
+        out
+    }
 }
 
 /// Algorithm 1 with dynamic HI/LO threshold adjustment and ping-pong
@@ -168,7 +207,7 @@ impl ThresholdPolicy {
         &mut self,
         meta: &MetadataRegion,
         map: &mut PageMap,
-        rng: &mut SmallRng,
+        rng: &mut SimRng,
     ) -> MigrationPlan {
         self.phase += 1;
         let mut plan = MigrationPlan::default();
@@ -200,8 +239,7 @@ impl ThresholdPolicy {
             }
             // Line 7–10: destination is a random sharer, or the pool for
             // widely shared regions.
-            let mut best: Location =
-                Location::Socket(sharers[rng.gen_range(0..sharers.len())]);
+            let mut best: Location = Location::Socket(sharers[rng.gen_range(0..sharers.len())]);
             if self.pool_enabled && entry.sharer_count() >= self.config.pool_sharer_threshold {
                 best = Location::Pool;
             }
@@ -264,7 +302,7 @@ impl ThresholdPolicy {
         map: &mut PageMap,
         needed: u64,
         exclude: RegionId,
-        rng: &mut SmallRng,
+        rng: &mut SimRng,
         plan: &mut MigrationPlan,
     ) -> u64 {
         let mut freed = 0u64;
@@ -337,11 +375,10 @@ impl ThresholdPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use starnuma_types::SocketId;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(7)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(7)
     }
 
     fn socket(i: u16) -> Location {
@@ -440,7 +477,7 @@ mod tests {
         let mut meta = MetadataRegion::new(4, 16, 16);
         record_sharers(&mut meta, 0, 16, 50); // hot, wants pool
         record_sharers(&mut meta, 2, 2, 1); // cold pool resident
-        // Pool holds regions 2 and 3 already; capacity 2 regions.
+                                            // Pool holds regions 2 and 3 already; capacity 2 regions.
         let mut m = PageMap::from_fn(512, 256, |p| {
             if p.region().index() >= 2 {
                 Location::Pool
@@ -483,7 +520,10 @@ mod tests {
     #[test]
     fn ping_pong_suppression() {
         let mut meta = MetadataRegion::new(4, 16, 16);
-        record_sharers(&mut meta, 0, 2, 300);
+        // Sharers disjoint from the current location (socket 0), so the
+        // first migration happens whichever sharer the RNG picks.
+        meta.record(RegionId::new(0), SocketId::new(4), 300);
+        meta.record(RegionId::new(0), SocketId::new(5), 300);
         let mut m = map();
         let mut p = ThresholdPolicy::new(config(), 4, true);
         // Region 0 migrates in phase 1.

@@ -115,9 +115,7 @@ impl Checkpoint {
                 "checkpoint exceeds its own pool capacity",
             ));
         }
-        let map = PageMap::from_fn(footprint, pool_capacity, |p| {
-            locations[p.pfn() as usize]
-        });
+        let map = PageMap::from_fn(footprint, pool_capacity, |p| locations[p.pfn() as usize]);
         let move_count = read_u64(&mut r)? as usize;
         let mut moves = Vec::with_capacity(move_count.min(1 << 24));
         for _ in 0..move_count {

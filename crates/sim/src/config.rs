@@ -1,7 +1,7 @@
 //! Run configuration: which system, how many phases, which migration policy.
 
 use starnuma_topology::SystemParams;
-use starnuma_types::SocketId;
+use starnuma_types::{Diagnostic, SocketId};
 
 /// Which data-placement machinery runs during the simulation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -106,6 +106,66 @@ impl RunConfig {
             0
         }
     }
+
+    /// Pre-run model validation (audit Pass 2).
+    ///
+    /// Aggregates [`SystemParams::diagnostics`] with run-level checks:
+    /// `SN102` for a pool-capacity fraction outside `[0, 1]` and `SN106`
+    /// for run-shape problems (empty runs, a migration fraction outside
+    /// `[0, 1]`, a detailed socket that does not exist).
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = self.params.diagnostics();
+        if !self.pool_capacity_frac.is_finite() || !(0.0..=1.0).contains(&self.pool_capacity_frac) {
+            out.push(Diagnostic::error(
+                "SN102",
+                "RunConfig.pool_capacity_frac",
+                format!(
+                    "pool capacity fraction must lie in [0, 1], got {}",
+                    self.pool_capacity_frac
+                ),
+                "the paper sizes the pool at 20% of the footprint (1/17 in the small-pool study)",
+            ));
+        }
+        if !self.modeled_migration_fraction.is_finite()
+            || !(0.0..=1.0).contains(&self.modeled_migration_fraction)
+        {
+            out.push(Diagnostic::error(
+                "SN106",
+                "RunConfig.modeled_migration_fraction",
+                format!(
+                    "modeled migration fraction must lie in [0, 1], got {}",
+                    self.modeled_migration_fraction
+                ),
+                "1.0 models the whole plan in timing simulation; 0.1 mimics the paper's windows",
+            ));
+        }
+        if self.phases == 0 || self.instructions_per_phase == 0 {
+            out.push(Diagnostic::warning(
+                "SN106",
+                "RunConfig.phases",
+                format!(
+                    "empty run: {} phase(s) of {} instruction(s) simulate nothing",
+                    self.phases, self.instructions_per_phase
+                ),
+                "the paper simulates 5-10 phases; the scaled default is 4 x 120 K instructions",
+            ));
+        }
+        if let Modality::Mixed { detailed_socket } = self.modality {
+            if usize::from(detailed_socket.index()) >= self.params.num_sockets {
+                out.push(Diagnostic::error(
+                    "SN106",
+                    "RunConfig.modality",
+                    format!(
+                        "detailed socket {} does not exist in a {}-socket system",
+                        detailed_socket.index(),
+                        self.params.num_sockets
+                    ),
+                    "pick a detailed socket below num_sockets",
+                ));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -125,8 +185,10 @@ mod tests {
     fn pool_capacity_scales_with_footprint() {
         let c = RunConfig::default();
         assert_eq!(c.pool_capacity_pages(1000), 200);
-        let mut baseline = RunConfig::default();
-        baseline.params = SystemParams::scaled_baseline();
+        let baseline = RunConfig {
+            params: SystemParams::scaled_baseline(),
+            ..RunConfig::default()
+        };
         assert_eq!(baseline.pool_capacity_pages(1000), 0);
     }
 }

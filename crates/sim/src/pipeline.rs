@@ -2,18 +2,15 @@
 //! memory-trace simulation with migration decisions (step B), and timing
 //! simulation (step C), phase by phase.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use starnuma_cache::{Tlb, TlbConfig};
 use starnuma_migration::{
     static_oracle_placement_with_sharers, MetadataRegion, MigrationCosts, OracleDynamicPolicy,
     PageAccessCounts, PageMap, PolicyConfig, ReplicaMap, ThresholdPolicy,
 };
-use starnuma_types::Location;
 use starnuma_topology::Network;
 use starnuma_trace::{TraceGenerator, WorkloadProfile};
 use starnuma_types::{CoreId, REGION_PAGES};
+use starnuma_types::{Diagnostic, Location, SimRng, StarNumaError};
 
 use crate::config::{MigrationMode, Modality, RunConfig};
 use crate::stats::{PhaseStats, RunResult};
@@ -37,6 +34,7 @@ use crate::timing::TimingSim;
 /// let result = Runner::new(Workload::Poa.profile(), config).run();
 /// assert_eq!(result.pages_to_pool, 0); // POA never needs the pool
 /// ```
+#[derive(Clone, Debug)]
 pub struct Runner {
     profile: WorkloadProfile,
     config: RunConfig,
@@ -47,13 +45,51 @@ impl Runner {
     ///
     /// # Panics
     ///
-    /// Panics if the system parameters are invalid, or if the migration mode
-    /// needs a pool the system does not have (`Threshold` works pool-less —
-    /// it degrades to socket-to-socket migration — but `pool_capacity_frac`
-    /// must be positive when a pool exists).
+    /// Panics if the model fails validation; use [`Runner::try_new`] to get
+    /// the findings as structured diagnostics instead.
     pub fn new(profile: WorkloadProfile, config: RunConfig) -> Self {
-        config.params.validate().expect("invalid system parameters");
-        Runner { profile, config }
+        // audit:allow(SN001) — documented panicking convenience wrapper.
+        Self::try_new(profile, config).expect("invalid model configuration")
+    }
+
+    /// Creates a runner after running the Pass 2 model checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StarNumaError::InvalidModel`] listing every error-severity
+    /// finding of [`Runner::preflight`]; warnings do not block the run.
+    pub fn try_new(profile: WorkloadProfile, config: RunConfig) -> Result<Self, StarNumaError> {
+        let errors: Vec<Diagnostic> = Self::preflight(&profile, &config)
+            .into_iter()
+            .filter(Diagnostic::is_error)
+            .collect();
+        if !errors.is_empty() {
+            return Err(StarNumaError::InvalidModel(errors));
+        }
+        Ok(Runner { profile, config })
+    }
+
+    /// All pre-run diagnostics for `profile` under `config`, warnings
+    /// included: [`RunConfig::diagnostics`] plus the workload-dependent
+    /// `SN102` capacity check (a pool smaller than the workload's hot set
+    /// forces socket-to-socket fallback migrations).
+    pub fn preflight(profile: &WorkloadProfile, config: &RunConfig) -> Vec<Diagnostic> {
+        let mut out = config.diagnostics();
+        if config.params.has_pool && config.pool_capacity_frac.is_finite() {
+            let cap = config.pool_capacity_pages(profile.footprint_pages);
+            let hot = (profile.footprint_pages as f64 * profile.hot_page_frac).round() as u64;
+            if cap < hot {
+                out.push(Diagnostic::warning(
+                    "SN102",
+                    "RunConfig.pool_capacity_frac",
+                    format!(
+                        "pool capacity ({cap} pages) is below the workload's hot set (~{hot} pages)"
+                    ),
+                    "raise pool_capacity_frac, or expect socket-to-socket fallback migrations",
+                ));
+            }
+        }
+        out
     }
 
     /// Executes the run and aggregates the results.
@@ -82,24 +118,14 @@ impl Runner {
                 // degree comes from the generator's ground truth — the §V-B
                 // oracle has a-priori knowledge of the access pattern.
                 let mut scout = gen.clone();
-                let mut counts: Option<PageAccessCounts> = None;
+                let mut counts = PageAccessCounts::new(fp, n_sockets);
                 for _ in 0..self.config.phases {
                     let t = scout.generate_phase(self.config.instructions_per_phase);
-                    let c = PageAccessCounts::from_trace(&t, fp, n_sockets, cps);
-                    counts = Some(match counts {
-                        None => c,
-                        Some(mut acc) => {
-                            acc.merge(&c);
-                            acc
-                        }
-                    });
+                    counts.merge(&PageAccessCounts::from_trace(&t, fp, n_sockets, cps));
                 }
-                static_oracle_placement_with_sharers(
-                    &counts.expect("at least one phase"),
-                    pool_cap,
-                    8,
-                    |p| scout.page_sharers(p).len() as u32,
-                )
+                static_oracle_placement_with_sharers(&counts, pool_cap, 8, |p| {
+                    scout.page_sharers(p).len() as u32
+                })
             }
             _ => {
                 // True first-touch semantics: a page lives where its first
@@ -137,8 +163,7 @@ impl Runner {
             MigrationMode::Threshold { t0 } => (t0, true),
             _ => (false, false),
         };
-        let mean_region_accesses = (self.config.instructions_per_phase as f64
-            * self.profile.mpki
+        let mean_region_accesses = (self.config.instructions_per_phase as f64 * self.profile.mpki
             / 1000.0
             * (n_sockets * cps) as f64
             / num_regions as f64) as u64;
@@ -167,7 +192,7 @@ impl Runner {
         };
         let mut tlbs: Vec<Tlb> = (0..n_sockets * cps).map(|_| Tlb::new(tlb_cfg)).collect();
         let mut meta = MetadataRegion::new(num_regions, n_sockets, tlb_cfg.counter_bits);
-        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x6d69_6772);
+        let mut rng = SimRng::seed_from_u64(self.config.seed ^ 0x6d69_6772);
 
         // --- Warm-up (populates LLCs/directory; no stats, no migration). ---
         if let Some(w) = &warmup_trace {
@@ -238,7 +263,8 @@ impl Runner {
                         &mut rng,
                     );
                     ablation_migrated += plan.total();
-                    ablation_to_pool += plan.moves.iter().filter(|m| m.to == Location::Pool).count() as u64;
+                    ablation_to_pool +=
+                        plan.moves.iter().filter(|m| m.to == Location::Pool).count() as u64;
                     plan
                 }
                 _ => Default::default(),
@@ -270,8 +296,7 @@ impl Runner {
             // effect between phases.
             let phase_cycles = self.config.instructions_per_phase as f64 * self.profile.base_cpi();
             let budget_pages = (phase_cycles * 0.1 / 3_000.0).floor() as usize;
-            let modeled_count = ((plan.moves.len() as f64
-                * self.config.modeled_migration_fraction)
+            let modeled_count = ((plan.moves.len() as f64 * self.config.modeled_migration_fraction)
                 .round() as usize)
                 .min(plan.moves.len())
                 .min(budget_pages);

@@ -57,7 +57,8 @@ impl PhaseStats {
         if self.core_cycles_sum == 0 {
             0.0
         } else {
-            self.instructions as f64 / (self.core_cycles_sum as f64 / self.cores.max(1) as f64)
+            self.instructions as f64
+                / (self.core_cycles_sum as f64 / self.cores.max(1) as f64)
                 / self.cores.max(1) as f64
         }
     }
@@ -81,7 +82,10 @@ impl PhaseStats {
 }
 
 /// Aggregated result of a full multi-phase run.
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq` so determinism tests can assert two same-seed runs
+/// are bit-identical end to end.
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunResult {
     /// Per-phase statistics, in order.
     pub phases: Vec<PhaseStats>,
@@ -165,11 +169,7 @@ impl RunResult {
 
     /// Fraction of accesses in a given class.
     pub fn class_frac(&self, class: AccessClass) -> f64 {
-        let idx = AccessClass::ALL
-            .iter()
-            .position(|c| *c == class)
-            .expect("class is in ALL");
-        self.class_fracs[idx]
+        self.class_fracs[class.index()]
     }
 
     /// Fraction of this run's migrations that targeted the pool

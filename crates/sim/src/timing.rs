@@ -13,12 +13,12 @@
 //! analytic unloaded latency plus that delay (the Fig. 8b decomposition).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use starnuma_cache::{CacheConfig, CacheOutcome, SetAssocCache};
 use starnuma_coherence::{Directory, TransferKind};
 use starnuma_mem::{DramTimings, FifoServer, MemoryModule};
-use starnuma_migration::{MigrationCosts, PageMove, PageMap, ReplicaMap};
+use starnuma_migration::{MigrationCosts, PageMap, PageMove, ReplicaMap};
 use starnuma_topology::{AccessClass, Network};
 use starnuma_trace::PhaseTrace;
 use starnuma_types::{Cycles, GbPerSec, Location, MemAccess, PageId, SocketId};
@@ -74,9 +74,7 @@ impl TimingSim {
         // through bank occupancy, so its data bus runs at the raw rate.
         const RAW_OVER_EFFECTIVE: f64 = 38.4 / 25.0;
         let socket_mem = (0..params.num_sockets)
-            .map(|_| {
-                MemoryModule::new(1, params.socket_mem_bw.scale(RAW_OVER_EFFECTIVE), timings)
-            })
+            .map(|_| MemoryModule::new(1, params.socket_mem_bw.scale(RAW_OVER_EFFECTIVE), timings))
             .collect();
         let pool_mem = params
             .has_pool
@@ -136,9 +134,7 @@ impl TimingSim {
 
     /// Aggregated DRAM statistics `(all sockets, pool)` since the last
     /// server reset.
-    pub fn memory_stats(
-        &self,
-    ) -> (starnuma_mem::ServerStats, Option<starnuma_mem::ServerStats>) {
+    pub fn memory_stats(&self) -> (starnuma_mem::ServerStats, Option<starnuma_mem::ServerStats>) {
         let mut sockets = starnuma_mem::ServerStats::default();
         for m in &self.socket_mem {
             let st = m.stats();
@@ -230,7 +226,7 @@ impl TimingSim {
             done: u64,
             from: Location,
         }
-        let mut in_flight: HashMap<PageId, InFlight> = HashMap::new();
+        let mut in_flight: BTreeMap<PageId, InFlight> = BTreeMap::new();
         let mut t_mig = 0u64;
         for mv in modeled_moves {
             let start = t_mig;
@@ -241,12 +237,7 @@ impl TimingSim {
                     .enqueue(Cycles::new(start), self.costs.bytes_per_page)
                     .raw();
             }
-            let one_way = self
-                .net
-                .latency()
-                .one_way(mv.from, mv.to)
-                .to_cycles()
-                .raw();
+            let one_way = self.net.latency().one_way(mv.from, mv.to).to_cycles().raw();
             let done = t_mig + wait + one_way;
             in_flight.insert(
                 mv.page,
@@ -307,8 +298,9 @@ impl TimingSim {
                     }
                 }
                 if core.outstanding.len() >= mlp {
-                    let done = core.outstanding.peek().expect("mlp > 0").0;
-                    t = t.max(done as f64);
+                    if let Some(&Reverse(done)) = core.outstanding.peek() {
+                        t = t.max(done as f64);
+                    }
                 }
             }
             // In-flight migration stall: only while the page is moving.
@@ -359,10 +351,7 @@ impl TimingSim {
                 if hit {
                     stats.llc_hits += 1;
                 } else {
-                    let idx = AccessClass::ALL
-                        .iter()
-                        .position(|c| *c == class)
-                        .expect("class in ALL");
+                    let idx = class.index();
                     stats.class_counts[idx] += 1;
                     stats.unloaded_ns_sum += unloaded_ns;
                     let measured_ns = measured_cycles as f64 / starnuma_types::CORE_GHZ;
@@ -471,27 +460,29 @@ impl TimingSim {
             TransferKind::CacheToCache { owner } => {
                 let r = Location::Socket(socket);
                 let o = Location::Socket(owner);
-                let (class, legs, unloaded_ns) = if home.is_pool() {
-                    // 4-hop via the pool: R→H, H→O, O→H, H→R.
-                    let legs = vec![
-                        (r, home, REQ_BYTES),
-                        (home, o, REQ_BYTES),
-                        (o, home, DATA_BYTES),
-                        (home, r, DATA_BYTES),
-                    ];
-                    let unloaded = lat.four_hop_pool_transfer() + self.net.params().mem_base;
-                    (AccessClass::BtPool, legs, unloaded)
-                } else {
-                    // 3-hop: R→H, H→O (forward), O→R (data).
-                    let legs = vec![
-                        (r, home, REQ_BYTES),
-                        (home, o, REQ_BYTES),
-                        (o, r, DATA_BYTES),
-                    ];
-                    let h = home.socket().expect("socket home");
-                    let unloaded =
-                        lat.three_hop_transfer(socket, h, owner) + self.net.params().mem_base;
-                    (AccessClass::BtSocket, legs, unloaded)
+                let (class, legs, unloaded_ns) = match home {
+                    Location::Pool => {
+                        // 4-hop via the pool: R→H, H→O, O→H, H→R.
+                        let legs = vec![
+                            (r, home, REQ_BYTES),
+                            (home, o, REQ_BYTES),
+                            (o, home, DATA_BYTES),
+                            (home, r, DATA_BYTES),
+                        ];
+                        let unloaded = lat.four_hop_pool_transfer() + self.net.params().mem_base;
+                        (AccessClass::BtPool, legs, unloaded)
+                    }
+                    Location::Socket(h) => {
+                        // 3-hop: R→H, H→O (forward), O→R (data).
+                        let legs = vec![
+                            (r, home, REQ_BYTES),
+                            (home, o, REQ_BYTES),
+                            (o, r, DATA_BYTES),
+                        ];
+                        let unloaded =
+                            lat.three_hop_transfer(socket, h, owner) + self.net.params().mem_base;
+                        (AccessClass::BtSocket, legs, unloaded)
+                    }
                 };
                 // No DRAM access: the data comes from the owner's cache and
                 // the home's coherence directory is SRAM (its 20 ns lookup is
@@ -599,13 +590,25 @@ mod tests {
         });
         let mut sim1 = sim(SystemParams::scaled_baseline());
         let remote = sim1.run_phase(
-            &trace, &mut remote_map, &[], profile.base_cpi(), profile.mlp,
-            20_000, Modality::AllDetailed, true,
+            &trace,
+            &mut remote_map,
+            &[],
+            profile.base_cpi(),
+            profile.mlp,
+            20_000,
+            Modality::AllDetailed,
+            true,
         );
         let mut sim2 = sim(SystemParams::scaled_baseline());
         let spread = sim2.run_phase(
-            &trace, &mut owner_map, &[], profile.base_cpi(), profile.mlp,
-            20_000, Modality::AllDetailed, true,
+            &trace,
+            &mut owner_map,
+            &[],
+            profile.base_cpi(),
+            profile.mlp,
+            20_000,
+            Modality::AllDetailed,
+            true,
         );
         assert!(
             remote.amat_ns() > spread.amat_ns(),
@@ -624,9 +627,7 @@ mod tests {
         let fp = profile.footprint_pages;
         let gen = g.clone();
         // Baseline: widely shared pages parked on socket 0.
-        let mut base_map = PageMap::from_fn(fp, 0, |p| {
-            Location::Socket(gen.page_sharers(p)[0])
-        });
+        let mut base_map = PageMap::from_fn(fp, 0, |p| Location::Socket(gen.page_sharers(p)[0]));
         // StarNUMA: widely shared pages in the pool.
         let gen2 = g.clone();
         let mut star_map = PageMap::from_fn(fp, fp, |p| {
@@ -638,13 +639,25 @@ mod tests {
         });
         let mut sim_base = sim(SystemParams::scaled_baseline());
         let base = sim_base.run_phase(
-            &trace, &mut base_map, &[], profile.base_cpi(), profile.mlp,
-            20_000, Modality::AllDetailed, true,
+            &trace,
+            &mut base_map,
+            &[],
+            profile.base_cpi(),
+            profile.mlp,
+            20_000,
+            Modality::AllDetailed,
+            true,
         );
         let mut sim_star = sim(SystemParams::scaled_starnuma());
         let star = sim_star.run_phase(
-            &trace, &mut star_map, &[], profile.base_cpi(), profile.mlp,
-            20_000, Modality::AllDetailed, true,
+            &trace,
+            &mut star_map,
+            &[],
+            profile.base_cpi(),
+            profile.mlp,
+            20_000,
+            Modality::AllDetailed,
+            true,
         );
         assert!(
             star.amat_ns() < base.amat_ns(),
@@ -672,8 +685,14 @@ mod tests {
             .collect();
         let mut s = sim(SystemParams::scaled_starnuma());
         let stats = s.run_phase(
-            &trace, &mut map, &moves, profile.base_cpi(), profile.mlp,
-            5_000, Modality::AllDetailed, true,
+            &trace,
+            &mut map,
+            &moves,
+            profile.base_cpi(),
+            profile.mlp,
+            5_000,
+            Modality::AllDetailed,
+            true,
         );
         assert_eq!(stats.migrations_modeled, 64);
         for i in 0..64 {
@@ -689,8 +708,14 @@ mod tests {
         let mut map = all_local_map(profile.footprint_pages, 4);
         let mut s = sim(SystemParams::scaled_baseline());
         let stats = s.run_phase(
-            &trace, &mut map, &[], profile.base_cpi(), profile.mlp,
-            5_000, Modality::AllDetailed, false,
+            &trace,
+            &mut map,
+            &[],
+            profile.base_cpi(),
+            profile.mlp,
+            5_000,
+            Modality::AllDetailed,
+            false,
         );
         assert_eq!(stats.memory_accesses(), 0);
         assert_eq!(stats.instructions, 0);
@@ -708,9 +733,15 @@ mod tests {
         let mut s = sim(SystemParams::scaled_baseline());
         s.set_light_cpi(profile.base_cpi());
         let stats = s.run_phase(
-            &trace, &mut map, &[], profile.base_cpi(), profile.mlp,
+            &trace,
+            &mut map,
+            &[],
+            profile.base_cpi(),
+            profile.mlp,
             10_000,
-            Modality::Mixed { detailed_socket: SocketId::new(0) },
+            Modality::Mixed {
+                detailed_socket: SocketId::new(0),
+            },
             true,
         );
         assert!(stats.memory_accesses() > 0);
@@ -733,8 +764,14 @@ mod tests {
         });
         let mut s = sim(SystemParams::scaled_starnuma());
         s.run_phase(
-            &trace, &mut map, &[], profile.base_cpi(), profile.mlp,
-            5_000, Modality::AllDetailed, true,
+            &trace,
+            &mut map,
+            &[],
+            profile.base_cpi(),
+            profile.mlp,
+            5_000,
+            Modality::AllDetailed,
+            true,
         );
         let [upi, numa, cxl] = s.link_stats();
         assert!(upi.transfers > 0, "UPI carried traffic");
@@ -758,8 +795,14 @@ mod tests {
         let mut map = all_local_map(profile.footprint_pages, 4);
         let mut s = sim(SystemParams::scaled_baseline());
         s.run_phase(
-            &trace, &mut map, &[], profile.base_cpi(), profile.mlp,
-            3_000, Modality::AllDetailed, true,
+            &trace,
+            &mut map,
+            &[],
+            profile.base_cpi(),
+            profile.mlp,
+            3_000,
+            Modality::AllDetailed,
+            true,
         );
         let [_, _, cxl] = s.link_stats();
         assert_eq!(cxl.transfers, 0, "no CXL links exist on the baseline");
@@ -778,8 +821,14 @@ mod tests {
         });
         let mut s = sim(SystemParams::scaled_baseline());
         let stats = s.run_phase(
-            &trace, &mut map, &[], profile.base_cpi(), profile.mlp,
-            20_000, Modality::AllDetailed, true,
+            &trace,
+            &mut map,
+            &[],
+            profile.base_cpi(),
+            profile.mlp,
+            20_000,
+            Modality::AllDetailed,
+            true,
         );
         let contention = stats.amat_ns() - stats.unloaded_amat_ns();
         assert!(

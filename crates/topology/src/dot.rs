@@ -116,7 +116,9 @@ mod tests {
 
     #[test]
     fn thirty_two_sockets_export() {
-        let params = SystemParams::scaled_starnuma().with_num_sockets(32).unwrap();
+        let params = SystemParams::scaled_starnuma()
+            .with_num_sockets(32)
+            .unwrap();
         let dot = to_dot(&params);
         assert_eq!(dot.matches("cluster_c").count(), 8);
         // 8 chassis pairwise = 28 NUMALink edges.

@@ -195,11 +195,13 @@ mod tests {
         let s0 = SocketId::new(0);
         assert_eq!(m.demand_access(s0, Location::Socket(s0)).raw(), 80.0);
         assert_eq!(
-            m.demand_access(s0, Location::Socket(SocketId::new(1))).raw(),
+            m.demand_access(s0, Location::Socket(SocketId::new(1)))
+                .raw(),
             130.0
         );
         assert_eq!(
-            m.demand_access(s0, Location::Socket(SocketId::new(4))).raw(),
+            m.demand_access(s0, Location::Socket(SocketId::new(4)))
+                .raw(),
             360.0
         );
         assert_eq!(m.demand_access(s0, Location::Pool).raw(), 180.0);
@@ -246,10 +248,17 @@ mod tests {
         let m = model();
         let s0 = SocketId::new(0);
         let pool = m.demand_access(s0, Location::Pool).raw();
-        let one_hop = m.demand_access(s0, Location::Socket(SocketId::new(1))).raw();
-        let two_hop = m.demand_access(s0, Location::Socket(SocketId::new(12))).raw();
+        let one_hop = m
+            .demand_access(s0, Location::Socket(SocketId::new(1)))
+            .raw();
+        let two_hop = m
+            .demand_access(s0, Location::Socket(SocketId::new(12)))
+            .raw();
         assert!(pool > one_hop, "pool is 40% slower than 1-hop (§II-C)");
-        assert!(pool * 2.0 == two_hop, "pool is 2x faster than 2-hop (§II-C)");
+        assert!(
+            pool * 2.0 == two_hop,
+            "pool is 2x faster than 2-hop (§II-C)"
+        );
     }
 
     #[test]

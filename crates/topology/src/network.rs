@@ -12,9 +12,9 @@
 //! * per socket (StarNUMA only): a CXL uplink and downlink to the pool.
 
 use core::fmt;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use starnuma_types::{ChassisId, Location, Nanos, SocketId};
+use starnuma_types::{ChassisId, Diagnostic, Location, Nanos, SocketId, StarNumaError};
 
 use crate::latency::LatencyModel;
 use crate::params::SystemParams;
@@ -80,6 +80,18 @@ impl AccessClass {
         AccessClass::BtPool,
     ];
 
+    /// This class's position in [`AccessClass::ALL`] (stats array index).
+    pub const fn index(self) -> usize {
+        match self {
+            AccessClass::Local => 0,
+            AccessClass::OneHop => 1,
+            AccessClass::TwoHop => 2,
+            AccessClass::Pool => 3,
+            AccessClass::BtSocket => 4,
+            AccessClass::BtPool => 5,
+        }
+    }
+
     /// Short label used in harness output.
     pub fn label(self) -> &'static str {
         match self {
@@ -131,10 +143,10 @@ pub struct Network {
     latency: LatencyModel,
     kinds: Vec<LinkKind>,
     bandwidths: Vec<f64>,
-    upi_direct: HashMap<(SocketId, SocketId), LinkId>,
+    upi_direct: BTreeMap<(SocketId, SocketId), LinkId>,
     upi_uplink: Vec<LinkId>,
     upi_downlink: Vec<LinkId>,
-    numalink: HashMap<(ChassisId, ChassisId), LinkId>,
+    numalink: BTreeMap<(ChassisId, ChassisId), LinkId>,
     cxl_up: Vec<LinkId>,
     cxl_down: Vec<LinkId>,
 }
@@ -144,17 +156,36 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if `params` fails [`SystemParams::validate`].
+    /// Panics if `params` fails [`SystemParams::diagnostics`]; use
+    /// [`Network::try_new`] to get the findings instead.
     pub fn new(params: &SystemParams) -> Self {
-        params.validate().expect("invalid system parameters");
+        // audit:allow(SN001) — documented panicking convenience wrapper.
+        Self::try_new(params).expect("invalid system parameters")
+    }
+
+    /// Builds the link database after running the Pass 2 model checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StarNumaError::InvalidModel`] carrying every error-severity
+    /// [`SystemParams::diagnostics`] finding.
+    pub fn try_new(params: &SystemParams) -> Result<Self, StarNumaError> {
+        let errors: Vec<_> = params
+            .diagnostics()
+            .into_iter()
+            .filter(Diagnostic::is_error)
+            .collect();
+        if !errors.is_empty() {
+            return Err(StarNumaError::InvalidModel(errors));
+        }
         let mut net = Network {
             latency: LatencyModel::new(params.clone()),
             kinds: Vec::new(),
             bandwidths: Vec::new(),
-            upi_direct: HashMap::new(),
+            upi_direct: BTreeMap::new(),
             upi_uplink: Vec::new(),
             upi_downlink: Vec::new(),
-            numalink: HashMap::new(),
+            numalink: BTreeMap::new(),
             cxl_up: Vec::new(),
             cxl_down: Vec::new(),
         };
@@ -184,7 +215,8 @@ impl Network {
             for d in 0..chassis {
                 if c != d {
                     let id = net.push(LinkKind::NumaLink, numalink_bw);
-                    net.numalink.insert((ChassisId::new(c), ChassisId::new(d)), id);
+                    net.numalink
+                        .insert((ChassisId::new(c), ChassisId::new(d)), id);
                 }
             }
         }
@@ -199,7 +231,7 @@ impl Network {
                 net.cxl_down.push(id);
             }
         }
-        net
+        Ok(net)
     }
 
     fn push(&mut self, kind: LinkKind, bw: f64) -> LinkId {
@@ -249,11 +281,17 @@ impl Network {
         match (src, dst) {
             (Location::Pool, Location::Pool) => Vec::new(),
             (Location::Socket(s), Location::Pool) => {
-                assert!(!self.cxl_up.is_empty(), "no memory pool in this configuration");
+                assert!(
+                    !self.cxl_up.is_empty(),
+                    "no memory pool in this configuration"
+                );
                 vec![self.cxl_up[s.index() as usize]]
             }
             (Location::Pool, Location::Socket(s)) => {
-                assert!(!self.cxl_down.is_empty(), "no memory pool in this configuration");
+                assert!(
+                    !self.cxl_down.is_empty(),
+                    "no memory pool in this configuration"
+                );
                 vec![self.cxl_down[s.index() as usize]]
             }
             (Location::Socket(s), Location::Socket(t)) => {
@@ -427,7 +465,9 @@ mod tests {
 
     #[test]
     fn thirty_two_socket_network_builds() {
-        let params = SystemParams::scaled_starnuma().with_num_sockets(32).unwrap();
+        let params = SystemParams::scaled_starnuma()
+            .with_num_sockets(32)
+            .unwrap();
         let net = Network::new(&params);
         let r = net.route(SocketId::new(0), Location::Socket(SocketId::new(31)));
         assert_eq!(r.class, AccessClass::TwoHop);

@@ -1,7 +1,7 @@
 //! System parameter sets: Table I (full scale), Table II (scaled down for
 //! simulation), and the sensitivity-study variants of §V-C, §V-D, and §V-G.
 
-use starnuma_types::{ConfigError, GbPerSec, Nanos, SOCKETS_PER_CHASSIS};
+use starnuma_types::{ConfigError, Diagnostic, GbPerSec, Nanos, SOCKETS_PER_CHASSIS};
 
 /// Bandwidth-provisioning variants studied in §V-D of the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -232,22 +232,99 @@ impl SystemParams {
         self.num_sockets * self.cores_per_socket
     }
 
+    /// Pre-run physical-consistency checks (audit Pass 2).
+    ///
+    /// Returns *every* problem as a structured [`Diagnostic`] instead of
+    /// stopping at the first: `SN101` for non-physical scalar parameters
+    /// (counts, latencies, bandwidths) and `SN104` for a topology whose
+    /// chassis cannot reach each other.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        if self.num_sockets == 0 || !self.num_sockets.is_multiple_of(SOCKETS_PER_CHASSIS) {
+            out.push(Diagnostic::error(
+                "SN101",
+                "SystemParams.num_sockets",
+                format!(
+                    "socket count must be a positive multiple of {SOCKETS_PER_CHASSIS}, got {}",
+                    self.num_sockets
+                ),
+                "the glueless mesh is built from whole 4-socket chassis; use with_num_sockets",
+            ));
+        }
+        if self.cores_per_socket == 0 {
+            out.push(Diagnostic::error(
+                "SN101",
+                "SystemParams.cores_per_socket",
+                "cores_per_socket must be positive",
+                "Table I uses 28 cores per socket, Table II uses 4",
+            ));
+        }
+        let latencies: [(&str, Nanos); 4] = [
+            ("mem_base", self.mem_base),
+            ("upi_one_way", self.upi_one_way),
+            ("inter_chassis_one_way", self.inter_chassis_one_way),
+            ("cxl_one_way", self.cxl_one_way),
+        ];
+        for (field, lat) in latencies {
+            if !lat.raw().is_finite() || lat.raw() <= 0.0 {
+                out.push(Diagnostic::error(
+                    "SN101",
+                    format!("SystemParams.{field}"),
+                    format!(
+                        "latency must be a positive finite time, got {} ns",
+                        lat.raw()
+                    ),
+                    "see Table I/II and Fig. 3 for the paper's latency components",
+                ));
+            }
+        }
+        let mut bandwidths: Vec<(&str, GbPerSec)> = vec![
+            ("upi_bw", self.upi_bw),
+            ("numalink_bw", self.numalink_bw),
+            ("socket_mem_bw", self.socket_mem_bw),
+        ];
+        if self.has_pool {
+            bandwidths.push(("cxl_bw", self.cxl_bw));
+            bandwidths.push(("pool_mem_bw", self.pool_mem_bw));
+        }
+        for (field, bw) in bandwidths {
+            if !bw.raw().is_finite() || bw.raw() <= 0.0 {
+                out.push(Diagnostic::error(
+                    "SN101",
+                    format!("SystemParams.{field}"),
+                    format!(
+                        "bandwidth must be a positive finite rate, got {} GB/s",
+                        bw.raw()
+                    ),
+                    "see Table I/II for the paper's per-direction link bandwidths",
+                ));
+            }
+        }
+        if self.num_chassis() > 1 && self.numalinks_per_chassis_pair == 0 {
+            out.push(Diagnostic::error(
+                "SN104",
+                "SystemParams.numalinks_per_chassis_pair",
+                format!(
+                    "{} chassis but zero NUMALinks between each pair: the topology is disconnected",
+                    self.num_chassis()
+                ),
+                "the paper's FLEX ASICs provide 4 links per chassis pair",
+            ));
+        }
+        out
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] if the socket count is not a positive multiple
-    /// of four or the system has no cores.
+    /// Returns [`ConfigError`] carrying the first error-severity finding of
+    /// [`SystemParams::diagnostics`].
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.num_sockets == 0 || !self.num_sockets.is_multiple_of(SOCKETS_PER_CHASSIS) {
-            return Err(ConfigError::new(
-                "socket count must be a positive multiple of 4",
-            ));
+        match self.diagnostics().into_iter().find(Diagnostic::is_error) {
+            Some(d) => Err(ConfigError::new(format!("{}: {}", d.location, d.message))),
+            None => Ok(()),
         }
-        if self.cores_per_socket == 0 {
-            return Err(ConfigError::new("cores_per_socket must be positive"));
-        }
-        Ok(())
     }
 }
 
@@ -338,9 +415,13 @@ mod tests {
     #[test]
     fn socket_count_validation() {
         assert!(SystemParams::scaled_starnuma().with_num_sockets(32).is_ok());
-        assert!(SystemParams::scaled_starnuma().with_num_sockets(13).is_err());
+        assert!(SystemParams::scaled_starnuma()
+            .with_num_sockets(13)
+            .is_err());
         assert!(SystemParams::scaled_starnuma().with_num_sockets(0).is_err());
-        let p = SystemParams::scaled_starnuma().with_num_sockets(32).unwrap();
+        let p = SystemParams::scaled_starnuma()
+            .with_num_sockets(32)
+            .unwrap();
         assert_eq!(p.num_chassis(), 8);
         assert!(p.validate().is_ok());
     }
@@ -350,5 +431,48 @@ mod tests {
         let mut p = SystemParams::scaled_baseline();
         p.cores_per_socket = 0;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn diagnostics_flag_negative_latency_as_sn101() {
+        let mut p = SystemParams::scaled_starnuma();
+        p.mem_base = Nanos::new(-5.0);
+        let diags = p.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SN101");
+        assert!(diags[0].is_error());
+        assert!(diags[0].location.contains("mem_base"));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn diagnostics_flag_disconnected_topology_as_sn104() {
+        let mut p = SystemParams::scaled_baseline();
+        p.numalinks_per_chassis_pair = 0;
+        let diags = p.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SN104");
+        assert!(diags[0].is_error());
+    }
+
+    #[test]
+    fn diagnostics_collect_every_problem() {
+        let mut p = SystemParams::scaled_starnuma();
+        // GbPerSec::new rejects non-positive rates, but Default is 0.0 —
+        // exactly the bypass the SN101 check exists to catch.
+        p.upi_bw = GbPerSec::default();
+        p.cxl_one_way = Nanos::new(f64::NAN);
+        p.numalinks_per_chassis_pair = 0;
+        let codes: Vec<_> = p.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["SN101", "SN101", "SN104"]);
+    }
+
+    #[test]
+    fn poolless_system_ignores_pool_bandwidths() {
+        let mut p = SystemParams::scaled_baseline();
+        p.cxl_bw = GbPerSec::default();
+        p.pool_mem_bw = GbPerSec::default();
+        assert!(p.diagnostics().is_empty());
+        assert!(p.validate().is_ok());
     }
 }

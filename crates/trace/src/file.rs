@@ -142,11 +142,7 @@ const RUN_MAGIC: &[u8; 4] = b"SNRN";
 /// # Errors
 ///
 /// Propagates I/O errors; rejects workload names longer than 255 bytes.
-pub fn write_run<W: Write>(
-    mut w: W,
-    header: &RunHeader,
-    phases: &[PhaseTrace],
-) -> io::Result<()> {
+pub fn write_run<W: Write>(mut w: W, header: &RunHeader, phases: &[PhaseTrace]) -> io::Result<()> {
     w.write_all(RUN_MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let name = header.workload.as_bytes();

@@ -1,11 +1,8 @@
 //! The trace generator: turns a [`WorkloadProfile`] into per-core memory
 //! access streams with the profile's sharing structure.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use starnuma_types::{
-    AccessType, CoreId, MemAccess, PageId, PhysAddr, SocketId, BLOCK_SIZE, PAGE_SIZE,
+    AccessType, CoreId, MemAccess, PageId, PhysAddr, SimRng, SocketId, BLOCK_SIZE, PAGE_SIZE,
     REGION_PAGES, SOCKETS_PER_CHASSIS,
 };
 
@@ -82,7 +79,7 @@ impl TraceGenerator {
     ) -> Self {
         assert!(num_sockets > 0, "need at least one socket");
         assert!(cores_per_socket > 0, "need at least one core per socket");
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5741_524e_554d_4131);
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x5741_524e_554d_4131);
         let num_classes = profile.classes.len();
         let total_pages = profile.footprint_pages;
         let num_groups = total_pages.div_ceil(REGION_PAGES as u64) as usize;
@@ -112,9 +109,8 @@ impl TraceGenerator {
             let cls_idx = owed
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("fractions are finite"))
-                .map(|(i, _)| i)
-                .expect("profiles have classes");
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map_or(0, |(i, _)| i);
             owed[cls_idx] -= 1.0;
             let class = &profile.classes[cls_idx];
             let sharers = Self::pick_sharers(
@@ -183,7 +179,7 @@ impl TraceGenerator {
         max: u16,
         within_chassis: bool,
         num_sockets: usize,
-        rng: &mut SmallRng,
+        rng: &mut SimRng,
         rr_socket: &mut usize,
         rr_chassis: &mut usize,
     ) -> Vec<SocketId> {
@@ -202,7 +198,10 @@ impl TraceGenerator {
             let chassis_size = SOCKETS_PER_CHASSIS.min(num_sockets - chassis * SOCKETS_PER_CHASSIS);
             let mut within: Vec<u16> = (0..chassis_size as u16).collect();
             partial_shuffle(&mut within, k, rng);
-            return within[..k].iter().map(|&i| SocketId::new(base + i)).collect();
+            return within[..k]
+                .iter()
+                .map(|&i| SocketId::new(base + i))
+                .collect();
         }
         let mut all: Vec<u16> = (0..num_sockets as u16).collect();
         partial_shuffle(&mut all, k, rng);
@@ -250,7 +249,7 @@ impl TraceGenerator {
         for core_idx in 0..self.total_cores() as u32 {
             let core = CoreId::new(core_idx);
             let socket = core.socket(self.cores_per_socket);
-            let mut rng = SmallRng::seed_from_u64(
+            let mut rng = SimRng::seed_from_u64(
                 self.seed
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add((u64::from(core_idx) << 20) ^ phase),
@@ -259,7 +258,7 @@ impl TraceGenerator {
             let mut icount = 0u64;
             loop {
                 // Geometric-ish gap around the mean instructions-per-miss.
-                let gap = (ipm * (0.25 + 1.5 * rng.gen::<f64>())).max(1.0) as u64;
+                let gap = (ipm * (0.25 + 1.5 * rng.gen_f64())).max(1.0) as u64;
                 icount += gap;
                 if icount >= instructions_per_core {
                     break;
@@ -276,18 +275,18 @@ impl TraceGenerator {
         socket: SocketId,
         core: CoreId,
         icount: u64,
-        rng: &mut SmallRng,
+        rng: &mut SimRng,
     ) -> MemAccess {
         let s = socket.index() as usize;
         let weights = &self.socket_cum_weights[s];
-        let total = *weights.last().expect("profiles have classes");
-        let x = rng.gen::<f64>() * total;
+        let total = weights.last().copied().unwrap_or(1.0);
+        let x = rng.gen_f64() * total;
         let cls = weights.partition_point(|&w| w <= x).min(weights.len() - 1);
         let hot = &self.socket_pages_hot[s][cls];
         let cold = &self.socket_pages_cold[s][cls];
         let pages = if hot.is_empty() {
             cold
-        } else if cold.is_empty() || rng.gen::<f64>() < self.profile.hot_access_frac {
+        } else if cold.is_empty() || rng.gen_f64() < self.profile.hot_access_frac {
             hot
         } else {
             cold
@@ -296,7 +295,7 @@ impl TraceGenerator {
         let page = pages[rng.gen_range(0..pages.len())];
         let block_in_page = rng.gen_range(0..(PAGE_SIZE / BLOCK_SIZE)) as u64;
         let addr = PhysAddr::new(page.pfn() * PAGE_SIZE as u64 + block_in_page * BLOCK_SIZE as u64);
-        let kind = if rng.gen::<f64>() < self.profile.classes[cls].rw.read_fraction() {
+        let kind = if rng.gen_f64() < self.profile.classes[cls].rw.read_fraction() {
             AccessType::Read
         } else {
             AccessType::Write
@@ -306,7 +305,7 @@ impl TraceGenerator {
 }
 
 /// Fisher–Yates for the first `k` elements.
-fn partial_shuffle(v: &mut [u16], k: usize, rng: &mut SmallRng) {
+fn partial_shuffle(v: &mut [u16], k: usize, rng: &mut SimRng) {
     let n = v.len();
     for i in 0..k.min(n.saturating_sub(1)) {
         let j = rng.gen_range(i..n);

@@ -50,7 +50,7 @@ pub struct PageClass {
 }
 
 /// The workloads evaluated in the paper (§IV-E).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Workload {
     /// GAP Single-Source Shortest Paths: the most memory-intensive graph
     /// kernel (LLC MPKI 73), heavily shared frontier and distance arrays.
@@ -110,109 +110,305 @@ impl Workload {
         match self {
             // Table III: IPC 0.06 (0.56 single-socket), MPKI 73.
             // Skew: frontier/distance arrays of high-degree vertices.
-            Workload::Sssp => skewed(0.2, 0.75, WorkloadProfile::new(
-                self,
-                32_768,
-                73.0,
-                0.56,
-                12,
-                vec![
-                    PageClass { page_frac: 0.15, access_frac: 0.06, sharers: SharerCount::exactly(1), rw: rw(0.65), within_chassis: true },
-                    PageClass { page_frac: 0.55, access_frac: 0.12, sharers: SharerCount::range(2, 4), rw: rw(0.65), within_chassis: true },
-                    PageClass { page_frac: 0.18, access_frac: 0.12, sharers: SharerCount::range(5, 8), rw: rw(0.65), within_chassis: false },
-                    PageClass { page_frac: 0.08, access_frac: 0.30, sharers: SharerCount::range(9, 15), rw: rw(0.60), within_chassis: false },
-                    PageClass { page_frac: 0.04, access_frac: 0.40, sharers: SharerCount::exactly(16), rw: rw(0.60), within_chassis: false },
-                ],
-            )),
+            Workload::Sssp => skewed(
+                0.2,
+                0.75,
+                WorkloadProfile::new(
+                    self,
+                    32_768,
+                    73.0,
+                    0.56,
+                    12,
+                    vec![
+                        PageClass {
+                            page_frac: 0.15,
+                            access_frac: 0.06,
+                            sharers: SharerCount::exactly(1),
+                            rw: rw(0.65),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.55,
+                            access_frac: 0.12,
+                            sharers: SharerCount::range(2, 4),
+                            rw: rw(0.65),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.18,
+                            access_frac: 0.12,
+                            sharers: SharerCount::range(5, 8),
+                            rw: rw(0.65),
+                            within_chassis: false,
+                        },
+                        PageClass {
+                            page_frac: 0.08,
+                            access_frac: 0.30,
+                            sharers: SharerCount::range(9, 15),
+                            rw: rw(0.60),
+                            within_chassis: false,
+                        },
+                        PageClass {
+                            page_frac: 0.04,
+                            access_frac: 0.40,
+                            sharers: SharerCount::exactly(16),
+                            rw: rw(0.60),
+                            within_chassis: false,
+                        },
+                    ],
+                ),
+            ),
             // Table III: IPC 0.10 (0.69), MPKI 32. Classes follow Fig. 2.
-            Workload::Bfs => skewed(0.2, 0.75, WorkloadProfile::new(
-                self,
-                32_768,
-                32.0,
-                0.69,
-                7,
-                vec![
-                    PageClass { page_frac: 0.17, access_frac: 0.08, sharers: SharerCount::exactly(1), rw: rw(0.70), within_chassis: true },
-                    PageClass { page_frac: 0.61, access_frac: 0.14, sharers: SharerCount::range(2, 4), rw: rw(0.70), within_chassis: true },
-                    PageClass { page_frac: 0.15, access_frac: 0.10, sharers: SharerCount::range(5, 8), rw: rw(0.70), within_chassis: false },
-                    PageClass { page_frac: 0.05, access_frac: 0.32, sharers: SharerCount::range(9, 15), rw: rw(0.65), within_chassis: false },
-                    PageClass { page_frac: 0.02, access_frac: 0.36, sharers: SharerCount::exactly(16), rw: rw(0.65), within_chassis: false },
-                ],
-            )),
+            Workload::Bfs => skewed(
+                0.2,
+                0.75,
+                WorkloadProfile::new(
+                    self,
+                    32_768,
+                    32.0,
+                    0.69,
+                    7,
+                    vec![
+                        PageClass {
+                            page_frac: 0.17,
+                            access_frac: 0.08,
+                            sharers: SharerCount::exactly(1),
+                            rw: rw(0.70),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.61,
+                            access_frac: 0.14,
+                            sharers: SharerCount::range(2, 4),
+                            rw: rw(0.70),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.15,
+                            access_frac: 0.10,
+                            sharers: SharerCount::range(5, 8),
+                            rw: rw(0.70),
+                            within_chassis: false,
+                        },
+                        PageClass {
+                            page_frac: 0.05,
+                            access_frac: 0.32,
+                            sharers: SharerCount::range(9, 15),
+                            rw: rw(0.65),
+                            within_chassis: false,
+                        },
+                        PageClass {
+                            page_frac: 0.02,
+                            access_frac: 0.36,
+                            sharers: SharerCount::exactly(16),
+                            rw: rw(0.65),
+                            within_chassis: false,
+                        },
+                    ],
+                ),
+            ),
             // Table III: IPC 0.14 (0.78), MPKI 17.
-            Workload::Cc => skewed(0.2, 0.75, WorkloadProfile::new(
-                self,
-                32_768,
-                17.0,
-                0.78,
-                4,
-                vec![
-                    PageClass { page_frac: 0.20, access_frac: 0.12, sharers: SharerCount::exactly(1), rw: rw(0.70), within_chassis: true },
-                    PageClass { page_frac: 0.55, access_frac: 0.18, sharers: SharerCount::range(2, 4), rw: rw(0.70), within_chassis: true },
-                    PageClass { page_frac: 0.13, access_frac: 0.10, sharers: SharerCount::range(5, 8), rw: rw(0.70), within_chassis: false },
-                    PageClass { page_frac: 0.08, access_frac: 0.25, sharers: SharerCount::range(9, 15), rw: rw(0.70), within_chassis: false },
-                    PageClass { page_frac: 0.04, access_frac: 0.35, sharers: SharerCount::exactly(16), rw: rw(0.70), within_chassis: false },
-                ],
-            )),
+            Workload::Cc => skewed(
+                0.2,
+                0.75,
+                WorkloadProfile::new(
+                    self,
+                    32_768,
+                    17.0,
+                    0.78,
+                    4,
+                    vec![
+                        PageClass {
+                            page_frac: 0.20,
+                            access_frac: 0.12,
+                            sharers: SharerCount::exactly(1),
+                            rw: rw(0.70),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.55,
+                            access_frac: 0.18,
+                            sharers: SharerCount::range(2, 4),
+                            rw: rw(0.70),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.13,
+                            access_frac: 0.10,
+                            sharers: SharerCount::range(5, 8),
+                            rw: rw(0.70),
+                            within_chassis: false,
+                        },
+                        PageClass {
+                            page_frac: 0.08,
+                            access_frac: 0.25,
+                            sharers: SharerCount::range(9, 15),
+                            rw: rw(0.70),
+                            within_chassis: false,
+                        },
+                        PageClass {
+                            page_frac: 0.04,
+                            access_frac: 0.35,
+                            sharers: SharerCount::exactly(16),
+                            rw: rw(0.70),
+                            within_chassis: false,
+                        },
+                    ],
+                ),
+            ),
             // Table III: IPC 0.40 (1.7), MPKI 3.2. Fig. 13: read-only, widely
             // shared; latency-sensitive (low MLP), not bandwidth-bound.
-            Workload::Tc => skewed(0.2, 0.8, WorkloadProfile::new(
-                self,
-                32_768,
-                3.2,
-                1.70,
-                1,
-                vec![
-                    PageClass { page_frac: 0.10, access_frac: 0.06, sharers: SharerCount::exactly(1), rw: rw(0.85), within_chassis: true },
-                    PageClass { page_frac: 0.10, access_frac: 0.07, sharers: SharerCount::range(2, 7), rw: rw(0.95), within_chassis: true },
-                    PageClass { page_frac: 0.20, access_frac: 0.17, sharers: SharerCount::range(8, 15), rw: RwMix::READ_ONLY, within_chassis: false },
-                    PageClass { page_frac: 0.60, access_frac: 0.70, sharers: SharerCount::exactly(16), rw: RwMix::READ_ONLY, within_chassis: false },
-                ],
-            )),
+            Workload::Tc => skewed(
+                0.2,
+                0.8,
+                WorkloadProfile::new(
+                    self,
+                    32_768,
+                    3.2,
+                    1.70,
+                    1,
+                    vec![
+                        PageClass {
+                            page_frac: 0.10,
+                            access_frac: 0.06,
+                            sharers: SharerCount::exactly(1),
+                            rw: rw(0.85),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.10,
+                            access_frac: 0.07,
+                            sharers: SharerCount::range(2, 7),
+                            rw: rw(0.95),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.20,
+                            access_frac: 0.17,
+                            sharers: SharerCount::range(8, 15),
+                            rw: RwMix::READ_ONLY,
+                            within_chassis: false,
+                        },
+                        PageClass {
+                            page_frac: 0.60,
+                            access_frac: 0.70,
+                            sharers: SharerCount::exactly(16),
+                            rw: RwMix::READ_ONLY,
+                            within_chassis: false,
+                        },
+                    ],
+                ),
+            ),
             // Table III: IPC 0.18 (0.89), MPKI 15. Uniform *key* popularity,
             // 50/50 reads/writes — but the trie's internal index nodes are a
             // small, intensely shared hot set (cache craftiness is the whole
             // point of Masstree), hence the strong within-class skew.
-            Workload::Masstree => skewed(0.1, 0.55, WorkloadProfile::new(
-                self,
-                49_152,
-                15.0,
-                0.89,
-                4,
-                vec![
-                    PageClass { page_frac: 0.08, access_frac: 0.06, sharers: SharerCount::exactly(1), rw: rw(0.60), within_chassis: true },
-                    PageClass { page_frac: 0.92, access_frac: 0.94, sharers: SharerCount::exactly(16), rw: rw(0.50), within_chassis: false },
-                ],
-            )),
+            Workload::Masstree => skewed(
+                0.1,
+                0.55,
+                WorkloadProfile::new(
+                    self,
+                    49_152,
+                    15.0,
+                    0.89,
+                    4,
+                    vec![
+                        PageClass {
+                            page_frac: 0.08,
+                            access_frac: 0.06,
+                            sharers: SharerCount::exactly(1),
+                            rw: rw(0.60),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.92,
+                            access_frac: 0.94,
+                            sharers: SharerCount::exactly(16),
+                            rw: rw(0.50),
+                            within_chassis: false,
+                        },
+                    ],
+                ),
+            ),
             // Table III: IPC 0.41 (1.12), MPKI 4.8. Warehouse partitioning
             // plus hot shared tables (93 % of migrations go to the pool).
-            Workload::Tpcc => skewed(0.2, 0.7, WorkloadProfile::new(
-                self,
-                16_384,
-                4.8,
-                1.12,
-                1,
-                vec![
-                    PageClass { page_frac: 0.55, access_frac: 0.45, sharers: SharerCount::exactly(1), rw: rw(0.55), within_chassis: true },
-                    PageClass { page_frac: 0.15, access_frac: 0.10, sharers: SharerCount::range(2, 4), rw: rw(0.60), within_chassis: true },
-                    PageClass { page_frac: 0.30, access_frac: 0.45, sharers: SharerCount::exactly(16), rw: rw(0.60), within_chassis: false },
-                ],
-            )),
+            Workload::Tpcc => skewed(
+                0.2,
+                0.7,
+                WorkloadProfile::new(
+                    self,
+                    16_384,
+                    4.8,
+                    1.12,
+                    1,
+                    vec![
+                        PageClass {
+                            page_frac: 0.55,
+                            access_frac: 0.45,
+                            sharers: SharerCount::exactly(1),
+                            rw: rw(0.55),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.15,
+                            access_frac: 0.10,
+                            sharers: SharerCount::range(2, 4),
+                            rw: rw(0.60),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.30,
+                            access_frac: 0.45,
+                            sharers: SharerCount::exactly(16),
+                            rw: rw(0.60),
+                            within_chassis: false,
+                        },
+                    ],
+                ),
+            ),
             // Table III: IPC 0.61 (1.45), MPKI 2.6. Read-mostly index with a
             // mix of chassis-level and global sharing (47 % pool migrations).
-            Workload::Fmi => skewed(0.3, 0.7, WorkloadProfile::new(
-                self,
-                16_384,
-                2.6,
-                1.45,
-                1,
-                vec![
-                    PageClass { page_frac: 0.30, access_frac: 0.20, sharers: SharerCount::exactly(1), rw: rw(0.90), within_chassis: true },
-                    PageClass { page_frac: 0.35, access_frac: 0.35, sharers: SharerCount::range(2, 4), rw: rw(0.95), within_chassis: true },
-                    PageClass { page_frac: 0.20, access_frac: 0.20, sharers: SharerCount::range(5, 8), rw: rw(0.95), within_chassis: false },
-                    PageClass { page_frac: 0.15, access_frac: 0.25, sharers: SharerCount::exactly(16), rw: rw(0.95), within_chassis: false },
-                ],
-            )),
+            Workload::Fmi => skewed(
+                0.3,
+                0.7,
+                WorkloadProfile::new(
+                    self,
+                    16_384,
+                    2.6,
+                    1.45,
+                    1,
+                    vec![
+                        PageClass {
+                            page_frac: 0.30,
+                            access_frac: 0.20,
+                            sharers: SharerCount::exactly(1),
+                            rw: rw(0.90),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.35,
+                            access_frac: 0.35,
+                            sharers: SharerCount::range(2, 4),
+                            rw: rw(0.95),
+                            within_chassis: true,
+                        },
+                        PageClass {
+                            page_frac: 0.20,
+                            access_frac: 0.20,
+                            sharers: SharerCount::range(5, 8),
+                            rw: rw(0.95),
+                            within_chassis: false,
+                        },
+                        PageClass {
+                            page_frac: 0.15,
+                            access_frac: 0.25,
+                            sharers: SharerCount::exactly(16),
+                            rw: rw(0.95),
+                            within_chassis: false,
+                        },
+                    ],
+                ),
+            ),
             // Table III: IPC 0.68 (0.68), MPKI 33. Completely NUMA-local.
             Workload::Poa => WorkloadProfile::new(
                 self,

@@ -2,7 +2,7 @@
 //! distribution of page sharing degree, and distribution of accesses over
 //! sharing-degree bins, split into read-only and read-write pages.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use starnuma_types::PageId;
 
@@ -46,7 +46,7 @@ impl SharingHistogram {
             accesses: u64,
             written: bool,
         }
-        let mut pages: HashMap<PageId, PageObs> = HashMap::new();
+        let mut pages: BTreeMap<PageId, PageObs> = BTreeMap::new();
         let mut total = 0u64;
         for a in trace.iter() {
             let socket = a.core.socket(cores_per_socket);
@@ -116,7 +116,7 @@ impl SharingHistogram {
             accesses: u64,
             written: bool,
         }
-        let mut pages: HashMap<PageId, PageObs> = HashMap::new();
+        let mut pages: BTreeMap<PageId, PageObs> = BTreeMap::new();
         let mut total = 0u64;
         for a in trace.iter() {
             let e = pages.entry(a.addr.page()).or_insert(PageObs {

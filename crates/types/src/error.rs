@@ -39,9 +39,72 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// The workspace-wide error type: everything a library entry point can
+/// return instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use starnuma_types::{ConfigError, StarNumaError};
+///
+/// let e: StarNumaError = ConfigError::new("bad socket count").into();
+/// assert!(e.to_string().contains("bad socket count"));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub enum StarNumaError {
+    /// A configuration value is malformed (shape-level problem).
+    Config(ConfigError),
+    /// Model validation found physically inconsistent parameters; each
+    /// diagnostic carries its `SNxxx` code, location, and fix hint.
+    InvalidModel(Vec<crate::Diagnostic>),
+    /// An I/O operation (trace files, source scanning) failed.
+    Io(String),
+}
+
+impl StarNumaError {
+    /// The validation diagnostics, if this is an [`StarNumaError::InvalidModel`].
+    pub fn diagnostics(&self) -> &[crate::Diagnostic] {
+        match self {
+            StarNumaError::InvalidModel(d) => d,
+            _ => &[],
+        }
+    }
+}
+
+impl fmt::Display for StarNumaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StarNumaError::Config(e) => write!(f, "{e}"),
+            StarNumaError::InvalidModel(diags) => {
+                write!(f, "model validation failed ({} finding(s))", diags.len())?;
+                for d in diags {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
+            }
+            StarNumaError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for StarNumaError {}
+
+impl From<ConfigError> for StarNumaError {
+    fn from(e: ConfigError) -> Self {
+        StarNumaError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for StarNumaError {
+    fn from(e: std::io::Error) -> Self {
+        StarNumaError::Io(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Diagnostic;
 
     #[test]
     fn display_includes_message() {
@@ -54,5 +117,25 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ConfigError>();
+        assert_send_sync::<StarNumaError>();
+    }
+
+    #[test]
+    fn invalid_model_lists_every_diagnostic() {
+        let e = StarNumaError::InvalidModel(vec![
+            Diagnostic::error("SN101", "a", "m1", "h1"),
+            Diagnostic::error("SN102", "b", "m2", "h2"),
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("2 finding(s)"));
+        assert!(s.contains("SN101") && s.contains("SN102"));
+        assert_eq!(e.diagnostics().len(), 2);
+    }
+
+    #[test]
+    fn config_error_converts() {
+        let e: StarNumaError = ConfigError::new("x").into();
+        assert!(matches!(e, StarNumaError::Config(_)));
+        assert!(e.diagnostics().is_empty());
     }
 }

@@ -374,7 +374,10 @@ mod tests {
         assert!(!l.is_pool());
         assert!(Location::Pool.is_pool());
         assert_eq!(Location::Pool.socket(), None);
-        assert_eq!(Location::from(SocketId::new(1)), Location::Socket(SocketId::new(1)));
+        assert_eq!(
+            Location::from(SocketId::new(1)),
+            Location::Socket(SocketId::new(1))
+        );
     }
 
     #[test]

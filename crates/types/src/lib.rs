@@ -21,13 +21,17 @@
 #![forbid(unsafe_code)]
 
 mod access;
+mod diag;
 mod error;
 mod ids;
+mod rng;
 mod units;
 
 pub use access::{AccessType, MemAccess, RwMix};
-pub use error::ConfigError;
+pub use diag::{json_escape, Diagnostic, Severity};
+pub use error::{ConfigError, StarNumaError};
 pub use ids::{BlockAddr, ChassisId, CoreId, Location, PageId, PhysAddr, RegionId, SocketId};
+pub use rng::{SampleRange, SimRng};
 pub use units::{Bytes, Cycles, GbPerSec, Nanos, CORE_GHZ};
 
 /// Size of a virtual-memory page in bytes (4 KiB, as in the paper).

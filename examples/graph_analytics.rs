@@ -25,9 +25,8 @@ fn main() {
     for w in kernels {
         let mut gen = TraceGenerator::new(&w.profile(), 16, 4, scale.seed);
         let trace = gen.generate_phase(scale.instructions_per_phase);
-        let h = SharingHistogram::from_trace_with_truth(&trace, |p| {
-            gen.page_sharers(p).len() as u32
-        });
+        let h =
+            SharingHistogram::from_trace_with_truth(&trace, |p| gen.page_sharers(p).len() as u32);
         let wide_pages = h.bins()[3].page_frac + h.bins()[4].page_frac;
         println!(
             "{:<6} {:>13.0}% {:>15.0}% {:>17.0}%",

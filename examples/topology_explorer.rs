@@ -16,18 +16,31 @@ fn main() {
 
     println!("StarNUMA 16-socket topology (HPE Superdome FLEX-style)\n");
     println!(
-        "{} chassis x {} sockets, {} cores total, pool: {}",
+        "{} chassis x {} sockets, {} cores total, pool: {}, {} directed links",
         params.num_chassis(),
         4,
         params.total_cores(),
-        if params.has_pool { "yes" } else { "no" }
+        if params.has_pool { "yes" } else { "no" },
+        net.link_count()
     );
 
     println!("\nUnloaded memory access latency from socket 0:");
-    println!("  local                  {:>6}", model.demand_access(SocketId::new(0), Location::Socket(SocketId::new(0))));
-    println!("  1-hop (intra-chassis)  {:>6}", model.demand_access(SocketId::new(0), Location::Socket(SocketId::new(1))));
-    println!("  2-hop (inter-chassis)  {:>6}", model.demand_access(SocketId::new(0), Location::Socket(SocketId::new(4))));
-    println!("  CXL memory pool        {:>6}", model.demand_access(SocketId::new(0), Location::Pool));
+    println!(
+        "  local                  {:>6}",
+        model.demand_access(SocketId::new(0), Location::Socket(SocketId::new(0)))
+    );
+    println!(
+        "  1-hop (intra-chassis)  {:>6}",
+        model.demand_access(SocketId::new(0), Location::Socket(SocketId::new(1)))
+    );
+    println!(
+        "  2-hop (inter-chassis)  {:>6}",
+        model.demand_access(SocketId::new(0), Location::Socket(SocketId::new(4)))
+    );
+    println!(
+        "  CXL memory pool        {:>6}",
+        model.demand_access(SocketId::new(0), Location::Pool)
+    );
 
     println!("\nCXL pool access latency breakdown (Fig. 3):");
     let b = CxlLatencyBreakdown::paper();
@@ -38,7 +51,10 @@ fn main() {
     println!("  MHD internal + directory   {:>6}", b.mhd_internal);
     println!("  = pool penalty             {:>6}", b.total());
     println!("  + on-processor and DRAM    {:>6}", params.mem_base);
-    println!("  = end-to-end               {:>6}", b.end_to_end(params.mem_base));
+    println!(
+        "  = end-to-end               {:>6}",
+        b.end_to_end(params.mem_base)
+    );
 
     println!("\nCoherence block transfers (Fig. 4):");
     println!(

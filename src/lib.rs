@@ -5,5 +5,6 @@
 //! substrate crates it re-exports.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use starnuma;

@@ -31,8 +31,7 @@ fn custom_profile(wide_access: f64) -> starnuma_trace::WorkloadProfile {
 }
 
 fn run(profile: starnuma_trace::WorkloadProfile, kind: SystemKind) -> starnuma::RunResult {
-    let mut cfg =
-        Experiment::new(Workload::Masstree, kind, ScaleConfig::quick()).run_config();
+    let mut cfg = Experiment::new(Workload::Masstree, kind, ScaleConfig::quick()).run_config();
     if kind == SystemKind::Baseline {
         cfg.migration = MigrationMode::FirstTouchOnly;
     }

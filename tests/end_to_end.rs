@@ -1,9 +1,7 @@
 //! End-to-end simulation tests: quick-scale runs of the full pipeline
 //! asserting the paper's *qualitative* results.
 
-use starnuma::{
-    AccessClass, Experiment, ScaleConfig, SystemKind, Workload,
-};
+use starnuma::{AccessClass, Experiment, ScaleConfig, SystemKind, Workload};
 
 fn run(w: Workload, k: SystemKind) -> starnuma::RunResult {
     Experiment::new(w, k, ScaleConfig::quick()).run()
@@ -112,7 +110,10 @@ fn seed_changes_results_but_not_conclusions() {
     scale.seed = 1234;
     let base = Experiment::new(Workload::Bfs, SystemKind::Baseline, scale.clone()).run();
     let star = Experiment::new(Workload::Bfs, SystemKind::StarNuma, scale).run();
-    assert!(star.ipc > base.ipc, "conclusion holds under a different seed");
+    assert!(
+        star.ipc > base.ipc,
+        "conclusion holds under a different seed"
+    );
 }
 
 #[test]
@@ -130,5 +131,8 @@ fn directory_handles_coherence_traffic() {
     // transaction every ~100 ns in the paper's full-scale runs.
     let star = run(Workload::Masstree, SystemKind::StarNuma);
     assert!(star.directory.pool_transactions > 0);
-    assert!(star.directory.invalidations > 0, "50/50 R/W must invalidate");
+    assert!(
+        star.directory.invalidations > 0,
+        "50/50 R/W must invalidate"
+    );
 }

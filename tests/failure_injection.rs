@@ -3,10 +3,10 @@
 //! paper's happy path.
 
 use starnuma::{
-    Experiment, MigrationMode, Modality, RunConfig, Runner, ScaleConfig, SystemKind,
-    SystemParams, Workload,
+    Experiment, MigrationMode, Modality, RunConfig, Runner, ScaleConfig, SystemKind, SystemParams,
+    Workload,
 };
-use starnuma_migration::{ReplicationConfig, PageMap};
+use starnuma_migration::{PageMap, ReplicationConfig};
 use starnuma_trace::{PhaseTrace, TraceGenerator};
 use starnuma_types::{Location, PageId, SocketId};
 
@@ -94,8 +94,7 @@ fn thirty_two_socket_system_runs() {
 fn mixed_modality_every_detailed_socket_choice_works() {
     for detailed in [0u16, 7, 15] {
         let mut cfg = tiny(
-            Experiment::new(Workload::Bfs, SystemKind::Baseline, ScaleConfig::quick())
-                .run_config(),
+            Experiment::new(Workload::Bfs, SystemKind::Baseline, ScaleConfig::quick()).run_config(),
         );
         cfg.migration = MigrationMode::FirstTouchOnly;
         cfg.modality = Modality::Mixed {
@@ -130,8 +129,12 @@ fn all_writes_workload_never_replicates() {
         class.rw = starnuma_types::RwMix::new(0.0); // all stores
     }
     let mut cfg = tiny(
-        Experiment::new(Workload::Masstree, SystemKind::StarNuma, ScaleConfig::quick())
-            .run_config(),
+        Experiment::new(
+            Workload::Masstree,
+            SystemKind::StarNuma,
+            ScaleConfig::quick(),
+        )
+        .run_config(),
     );
     cfg.replication = Some(ReplicationConfig::with_budget_frac(
         profile.footprint_pages,
@@ -173,8 +176,7 @@ fn single_page_degenerate_trace() {
         Location::Socket(SocketId::new(0))
     });
     let net = starnuma::Network::new(&SystemParams::scaled_baseline());
-    let mut sim =
-        starnuma_sim::TimingSim::new(net, starnuma_migration::MigrationCosts::paper());
+    let mut sim = starnuma_sim::TimingSim::new(net, starnuma_migration::MigrationCosts::paper());
     let stats = sim.run_phase(
         &trace,
         &mut map,
@@ -187,7 +189,10 @@ fn single_page_degenerate_trace() {
     );
     // One block ping-ponging among 64 cores: almost everything is coherence.
     assert!(stats.memory_accesses() + stats.llc_hits > 0);
-    assert_eq!(map.location(PageId::new(1)), Location::Socket(SocketId::new(0)));
+    assert_eq!(
+        map.location(PageId::new(1)),
+        Location::Socket(SocketId::new(0))
+    );
 }
 
 #[test]

@@ -2,9 +2,7 @@
 //! states — latencies, topology structure, parameter tables — end to end
 //! through the public API.
 
-use starnuma::{
-    CxlLatencyBreakdown, LatencyModel, Network, ScalePreset, SystemParams,
-};
+use starnuma::{CxlLatencyBreakdown, LatencyModel, Network, ScalePreset, SystemParams};
 use starnuma_types::{Location, Nanos, SocketId};
 
 fn model() -> LatencyModel {
@@ -18,11 +16,13 @@ fn unloaded_latency_ladder() {
     let s0 = SocketId::new(0);
     assert_eq!(m.demand_access(s0, Location::Socket(s0)).raw(), 80.0);
     assert_eq!(
-        m.demand_access(s0, Location::Socket(SocketId::new(2))).raw(),
+        m.demand_access(s0, Location::Socket(SocketId::new(2)))
+            .raw(),
         130.0
     );
     assert_eq!(
-        m.demand_access(s0, Location::Socket(SocketId::new(13))).raw(),
+        m.demand_access(s0, Location::Socket(SocketId::new(13)))
+            .raw(),
         360.0
     );
     assert_eq!(m.demand_access(s0, Location::Pool).raw(), 180.0);
@@ -34,7 +34,9 @@ fn latency_gap_is_4_5x() {
     let m = model();
     let s0 = SocketId::new(0);
     let local = m.demand_access(s0, Location::Socket(s0)).raw();
-    let worst = m.demand_access(s0, Location::Socket(SocketId::new(15))).raw();
+    let worst = m
+        .demand_access(s0, Location::Socket(SocketId::new(15)))
+        .raw();
     assert_eq!(worst / local, 4.5);
 }
 
@@ -44,8 +46,12 @@ fn pool_is_2x_faster_than_two_hop_and_40pct_slower_than_one_hop() {
     let m = model();
     let s0 = SocketId::new(0);
     let pool = m.demand_access(s0, Location::Pool).raw();
-    let one_hop = m.demand_access(s0, Location::Socket(SocketId::new(1))).raw();
-    let two_hop = m.demand_access(s0, Location::Socket(SocketId::new(8))).raw();
+    let one_hop = m
+        .demand_access(s0, Location::Socket(SocketId::new(1)))
+        .raw();
+    let two_hop = m
+        .demand_access(s0, Location::Socket(SocketId::new(8)))
+        .raw();
     assert_eq!(two_hop / pool, 2.0);
     assert!((pool / one_hop - 1.4).abs() < 0.02);
 }
@@ -115,12 +121,12 @@ fn cxl_switch_and_32_socket_scaling() {
 #[test]
 fn bandwidth_variants_match_section_5d() {
     use starnuma::BandwidthVariant;
-    let iso = SystemParams::full_scale_baseline()
-        .with_bandwidth_variant(BandwidthVariant::BaselineIsoBw);
+    let iso =
+        SystemParams::full_scale_baseline().with_bandwidth_variant(BandwidthVariant::BaselineIsoBw);
     assert!((iso.upi_bw.raw() - 26.4).abs() < 1e-9);
     assert!((iso.numalink_bw.raw() - 17.0).abs() < 1e-9);
-    let double = SystemParams::full_scale_baseline()
-        .with_bandwidth_variant(BandwidthVariant::Baseline2xBw);
+    let double =
+        SystemParams::full_scale_baseline().with_bandwidth_variant(BandwidthVariant::Baseline2xBw);
     assert!((double.upi_bw.raw() - 41.6).abs() < 1e-9);
     let half = SystemParams::full_scale_starnuma()
         .with_bandwidth_variant(BandwidthVariant::StarNumaHalfBw);

@@ -1,37 +1,29 @@
-//! Property-based integration tests over the trace → migration → placement
-//! pipeline (cross-crate invariants that unit tests can't see).
-
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+//! Property-style integration tests over the trace → migration → placement
+//! pipeline (cross-crate invariants that unit tests can't see), driven by a
+//! seeded in-repo PRNG for full determinism.
 
 use starnuma_migration::{MetadataRegion, PageMap, PolicyConfig, ThresholdPolicy};
 use starnuma_trace::{TraceGenerator, Workload};
-use starnuma_types::{Location, PageId, RegionId, SocketId, REGION_PAGES};
+use starnuma_types::{Location, PageId, RegionId, SimRng, SocketId, REGION_PAGES};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Pool occupancy never exceeds capacity across arbitrary multi-phase
-    /// migration histories, and every page is always somewhere valid.
-    #[test]
-    fn pool_capacity_invariant_over_phases(
-        seed in 0u64..1000,
-        phases in 1usize..5,
-        capacity_regions in 1u64..6,
-    ) {
+/// Pool occupancy never exceeds capacity across arbitrary multi-phase
+/// migration histories, and every page is always somewhere valid.
+#[test]
+fn pool_capacity_invariant_over_phases() {
+    let mut cases = SimRng::seed_from_u64(0xb0);
+    for _case in 0..16 {
+        let seed = cases.gen_range(0u64..1000);
+        let phases = cases.gen_range(1usize..5);
+        let capacity_regions = cases.gen_range(1u64..6);
         let profile = Workload::Bfs.profile();
         let mut gen = TraceGenerator::new(&profile, 16, 4, seed);
         let fp = profile.footprint_pages;
         let cap = capacity_regions * REGION_PAGES as u64;
         let first = gen.generate_phase(5_000);
         let mut map = PageMap::first_touch(fp, cap, &first, 4, 16);
-        let mut policy = ThresholdPolicy::new(
-            PolicyConfig::t16_scaled(64),
-            map.num_regions(),
-            true,
-        );
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut policy =
+            ThresholdPolicy::new(PolicyConfig::t16_scaled(64), map.num_regions(), true);
+        let mut rng = SimRng::seed_from_u64(seed);
         for _ in 0..phases {
             let trace = gen.generate_phase(5_000);
             let mut meta = MetadataRegion::new(map.num_regions(), 16, 16);
@@ -40,72 +32,80 @@ proptest! {
                 meta.record(a.addr.page().region(), socket, 1);
             }
             policy.decide(&meta, &mut map, &mut rng);
-            prop_assert!(map.pool_pages() <= cap);
+            assert!(map.pool_pages() <= cap);
             // Spot-check page locations are well-formed.
             for pfn in (0..fp).step_by(997) {
                 match map.location(PageId::new(pfn)) {
                     Location::Pool => {}
-                    Location::Socket(s) => prop_assert!(s.index() < 16),
+                    Location::Socket(s) => assert!(s.index() < 16),
                 }
             }
         }
-        prop_assert_eq!(policy.pages_to_pool <= policy.pages_migrated, true);
+        assert!(policy.pages_to_pool <= policy.pages_migrated);
     }
+}
 
-    /// The trace generator only ever emits accesses to pages its socket
-    /// shares, for any workload and system size.
-    #[test]
-    fn traces_respect_sharing(
-        seed in 0u64..1000,
-        wl in proptest::sample::select(Workload::ALL.to_vec()),
-        sockets in proptest::sample::select(vec![4usize, 8, 16]),
-    ) {
+/// The trace generator only ever emits accesses to pages its socket
+/// shares, for any workload and system size.
+#[test]
+fn traces_respect_sharing() {
+    let mut cases = SimRng::seed_from_u64(0x5a1);
+    for case in 0..16 {
+        let seed = cases.gen_range(0u64..1000);
+        let wl = Workload::ALL[case % Workload::ALL.len()];
+        let sockets = [4usize, 8, 16][case % 3];
         let profile = wl.profile();
         let mut gen = TraceGenerator::new(&profile, sockets, 2, seed);
         let trace = gen.generate_phase(2_000);
         for a in trace.iter() {
             let socket = a.core.socket(2);
-            prop_assert!(gen.page_sharers(a.addr.page()).contains(&socket));
-            prop_assert!(a.addr.page().pfn() < profile.footprint_pages);
+            assert!(gen.page_sharers(a.addr.page()).contains(&socket));
+            assert!(a.addr.page().pfn() < profile.footprint_pages);
         }
     }
+}
 
-    /// First-touch maps every page to a socket (never the pool) and is
-    /// deterministic.
-    #[test]
-    fn first_touch_is_socket_only_and_deterministic(seed in 0u64..500) {
+/// First-touch maps every page to a socket (never the pool) and is
+/// deterministic.
+#[test]
+fn first_touch_is_socket_only_and_deterministic() {
+    let mut cases = SimRng::seed_from_u64(0xf7);
+    for _case in 0..8 {
+        let seed = cases.gen_range(0u64..500);
         let profile = Workload::Tpcc.profile();
         let mut gen = TraceGenerator::new(&profile, 16, 4, seed);
         let trace = gen.generate_phase(3_000);
         let a = PageMap::first_touch(profile.footprint_pages, 100, &trace, 4, 16);
         let b = PageMap::first_touch(profile.footprint_pages, 100, &trace, 4, 16);
-        prop_assert_eq!(a.pool_pages(), 0);
+        assert_eq!(a.pool_pages(), 0);
         for pfn in (0..profile.footprint_pages).step_by(131) {
-            prop_assert_eq!(a.location(PageId::new(pfn)), b.location(PageId::new(pfn)));
+            assert_eq!(a.location(PageId::new(pfn)), b.location(PageId::new(pfn)));
         }
     }
+}
 
-    /// Migration plans conserve pages: applying a plan to the pre-decision
-    /// snapshot yields exactly the post-decision map.
-    #[test]
-    fn plans_replay_exactly(seed in 0u64..500) {
+/// Migration plans conserve pages: applying a plan to the pre-decision
+/// snapshot yields exactly the post-decision map.
+#[test]
+fn plans_replay_exactly() {
+    let mut cases = SimRng::seed_from_u64(0x9e9);
+    for _case in 0..16 {
+        let seed = cases.gen_range(0u64..500);
         let mut meta = MetadataRegion::new(8, 16, 16);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         for r in 0..8u64 {
             for s in 0..((seed + r) % 16 + 1) as u16 {
                 meta.record(RegionId::new(r), SocketId::new(s), (seed % 300) as u32 + 10);
             }
         }
-        let mut live = PageMap::from_fn(8 * 128, 3 * 128, |_| {
-            Location::Socket(SocketId::new(0))
-        });
+        let mut live = PageMap::from_fn(8 * 128, 3 * 128, |_| Location::Socket(SocketId::new(0)));
         let snapshot = live.clone();
         let mut policy = ThresholdPolicy::new(PolicyConfig::t16_scaled(100), 8, true);
         let plan = policy.decide(&meta, &mut live, &mut rng);
         let mut replay = snapshot;
         plan.apply(&mut replay);
         for pfn in 0..replay.len() {
-            prop_assert_eq!(
+            assert_eq!(
                 replay.location(PageId::new(pfn)),
                 live.location(PageId::new(pfn))
             );
