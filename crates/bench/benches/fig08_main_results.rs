@@ -16,6 +16,14 @@ fn main() {
          2.17x); the simpler T0 still reaches 1.35x",
     );
     let mut lab = Lab::new();
+    lab.prefetch_grid(
+        &Workload::ALL,
+        &[
+            SystemKind::Baseline,
+            SystemKind::StarNuma,
+            SystemKind::StarNumaT0,
+        ],
+    );
 
     // ---- (a) speedups ----
     println!("\n(a) IPC normalized to baseline\n");

@@ -17,6 +17,15 @@ fn main() {
          StarNUMA ≥ dynamic StarNUMA",
     );
     let mut lab = Lab::new();
+    lab.prefetch_grid(
+        &Workload::ALL,
+        &[
+            SystemKind::Baseline,
+            SystemKind::BaselineStaticOracle,
+            SystemKind::StarNuma,
+            SystemKind::StarNumaStaticOracle,
+        ],
+    );
     println!();
     print_header("wkld", &["base-static", "star-dyn", "star-static"]);
     let mut base_static = Vec::new();

@@ -12,6 +12,14 @@ fn main() {
          latency-bound TC is hit hardest (1.63x → 1.11x)",
     );
     let mut lab = Lab::new();
+    lab.prefetch_grid(
+        &Workload::ALL,
+        &[
+            SystemKind::Baseline,
+            SystemKind::StarNuma,
+            SystemKind::StarNumaCxlSwitch,
+        ],
+    );
     println!();
     print_header("wkld", &["100ns pen.", "190ns pen."]);
     let mut fast = Vec::new();

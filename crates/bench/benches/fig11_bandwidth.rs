@@ -19,6 +19,9 @@ fn main() {
         SystemKind::StarNuma,
     ];
     let mut lab = Lab::new();
+    let mut grid = systems.to_vec();
+    grid.push(SystemKind::Baseline);
+    lab.prefetch_grid(&Workload::ALL, &grid);
     println!();
     print_header("wkld", &["ISO-BW", "2xBW", "star-half", "StarNUMA"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];

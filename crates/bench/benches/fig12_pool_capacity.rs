@@ -12,6 +12,14 @@ fn main() {
          (1.22x → 1.05x)",
     );
     let mut lab = Lab::new();
+    lab.prefetch_grid(
+        &Workload::ALL,
+        &[
+            SystemKind::Baseline,
+            SystemKind::StarNuma,
+            SystemKind::StarNumaSmallPool,
+        ],
+    );
     println!();
     print_header("wkld", &["pool 1/5", "pool 1/17"]);
     let mut big = Vec::new();

@@ -4,10 +4,12 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use std::collections::BTreeMap;
+
 use starnuma::report::{run_result_json, Json};
 use starnuma::{
-    geomean, AccessClass, CxlLatencyBreakdown, Experiment, LatencyModel, ScaleConfig, SystemKind,
-    TraceGenerator, Workload,
+    geomean, AccessClass, CxlLatencyBreakdown, Experiment, JobPool, LatencyModel, RunResult,
+    ScaleConfig, SystemKind, TraceGenerator, Workload,
 };
 use starnuma_migration::ReplicationConfig;
 use starnuma_topology::SystemParams;
@@ -55,6 +57,25 @@ pub fn parse_system(name: &str) -> Result<SystemKind, ArgError> {
     Ok(kind)
 }
 
+/// Resolves the worker count for multi-run commands and installs it as the
+/// process-global [`JobPool`] setting: `--jobs N` wins, else `STARNUMA_JOBS`
+/// (validated here, at harness entry — a typo is an error, not a silent
+/// fallback), else the host's available parallelism.
+pub fn configure_jobs(args: &Args) -> Result<(), ArgError> {
+    let workers = match args.get("jobs") {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| ArgError(format!("--jobs expects a positive integer, got '{v}'")))?,
+        None => JobPool::from_env()
+            .map_err(|e| ArgError(e.to_string()))?
+            .workers(),
+    };
+    starnuma::set_global_jobs(workers);
+    Ok(())
+}
+
 /// Builds a [`ScaleConfig`] from `--scale/--phases/--instructions/--seed`.
 pub fn parse_scale(args: &Args) -> Result<ScaleConfig, ArgError> {
     let mut scale = match args.get_or("scale", "default") {
@@ -82,9 +103,11 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
         "phases",
         "instructions",
         "seed",
+        "jobs",
         "json",
         "replication",
     ])?;
+    configure_jobs(args)?;
     let workload = parse_workload(args.require("workload")?)?;
     let system = parse_system(args.get_or("system", "starnuma"))?;
     let scale = parse_scale(args)?;
@@ -150,8 +173,10 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
         "phases",
         "instructions",
         "seed",
+        "jobs",
         "json",
     ])?;
+    configure_jobs(args)?;
     let workload = parse_workload(args.require("workload")?)?;
     let systems: Vec<SystemKind> = args
         .get_or("systems", "baseline,starnuma,t0")
@@ -159,16 +184,29 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
         .map(parse_system)
         .collect::<Result<_, _>>()?;
     let scale = parse_scale(args)?;
-    let baseline = Experiment::new(workload, SystemKind::Baseline, scale.clone()).run();
-    let mut rows = Vec::new();
-    for system in systems {
-        let r = if system == SystemKind::Baseline {
-            baseline.clone()
-        } else {
-            Experiment::new(workload, system, scale.clone()).run()
-        };
-        rows.push((system, r));
+    // Fan every distinct system (plus the baseline, which anchors the
+    // speedup column) out on the job pool; results are keyed for the
+    // requested row order below.
+    let mut distinct = vec![SystemKind::Baseline];
+    for s in &systems {
+        if !distinct.contains(s) {
+            distinct.push(*s);
+        }
     }
+    let computed: BTreeMap<SystemKind, RunResult> = JobPool::global()
+        .run(distinct, |_, system| {
+            (
+                system,
+                Experiment::new(workload, system, scale.clone()).run(),
+            )
+        })
+        .into_iter()
+        .collect();
+    let baseline = computed[&SystemKind::Baseline].clone();
+    let rows: Vec<(SystemKind, RunResult)> = systems
+        .into_iter()
+        .map(|s| (s, computed[&s].clone()))
+        .collect();
     if args.switch("json") {
         let arr = Json::Arr(
             rows.iter()
@@ -196,7 +234,7 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `starnuma sweep --system S [--workloads a,b,...]`
+/// `starnuma sweep --system S [--workloads a,b,...] [--json]`
 pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
         "system",
@@ -205,7 +243,10 @@ pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         "phases",
         "instructions",
         "seed",
+        "jobs",
+        "json",
     ])?;
+    configure_jobs(args)?;
     let system = parse_system(args.get_or("system", "starnuma"))?;
     let workloads: Vec<Workload> = match args.get("workloads") {
         None => Workload::ALL.to_vec(),
@@ -215,16 +256,30 @@ pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
             .collect::<Result<_, _>>()?,
     };
     let scale = parse_scale(args)?;
+    // One job per workload; each job runs the system and its baseline.
+    let rows: Vec<(&str, f64)> = JobPool::global().run(workloads, |_, w| {
+        let (speedup, _, _) = starnuma::speedup_vs_baseline(w, system, &scale);
+        (w.name(), speedup)
+    });
+    if args.switch("json") {
+        let arr = Json::Arr(
+            rows.iter()
+                .map(|(name, s)| {
+                    Json::Obj(vec![
+                        ("workload".into(), Json::Str((*name).into())),
+                        ("system".into(), Json::Str(system.label().into())),
+                        ("speedup".into(), Json::Num(*s)),
+                    ])
+                })
+                .collect(),
+        );
+        println!("{}", arr.render());
+        return Ok(());
+    }
     println!(
         "speedup of {system} over {} per workload:\n",
         SystemKind::Baseline
     );
-    let mut rows: Vec<(&str, f64)> = Vec::new();
-    for w in &workloads {
-        let base = Experiment::new(*w, SystemKind::Baseline, scale.clone()).run();
-        let sys = Experiment::new(*w, system, scale.clone()).run();
-        rows.push((w.name(), sys.ipc / base.ipc));
-    }
     print!("{}", starnuma::chart::speedup_chart(&rows, 40));
     let speedups: Vec<f64> = rows.iter().map(|(_, s)| *s).collect();
     println!("{:<10} geomean {:.2}x", "", geomean(&speedups));

@@ -12,7 +12,8 @@
 //! ```
 //!
 //! All simulation commands accept `--scale quick|default|full`,
-//! `--phases N`, `--instructions N`, and `--seed N`.
+//! `--phases N`, `--instructions N`, `--seed N`, and `--jobs N` (worker
+//! threads for independent runs; `STARNUMA_JOBS` sets the default).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -67,6 +68,7 @@ commands:
   sweep     one system across workloads
               --system <name>          (default starnuma)
               --workloads a,b,c        (default: all eight)
+              --json                   machine-readable output
   topology  print the machine's latency structure
               --sockets <n>            (default 16; must be a multiple of 4)
               --full-scale             Table I instead of Table II parameters
@@ -82,6 +84,8 @@ commands:
 
 common simulation flags:
   --scale quick|default|full   --phases N   --instructions N   --seed N
+  --jobs N    worker threads for independent runs (default: STARNUMA_JOBS,
+              else all cores; results are bit-identical at any worker count)
 
 systems: baseline, first-touch, isobw, 2xbw, baseline-static,
          starnuma (t16), t0, halfbw, cxlswitch, smallpool, starnuma-static"
@@ -142,6 +146,48 @@ mod tests {
             "1",
             "--instructions",
             "4000",
+            "--json",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn jobs_flag_is_validated() {
+        assert!(run_tokens(&[
+            "run",
+            "--workload",
+            "poa",
+            "--scale",
+            "quick",
+            "--phases",
+            "1",
+            "--instructions",
+            "2000",
+            "--jobs",
+            "2",
+            "--json",
+        ])
+        .is_ok());
+        let e = run_tokens(&["run", "--workload", "poa", "--jobs", "0"]).unwrap_err();
+        assert!(e.to_string().contains("--jobs"));
+        let e = run_tokens(&["run", "--workload", "poa", "--jobs", "many"]).unwrap_err();
+        assert!(e.to_string().contains("--jobs"));
+    }
+
+    #[test]
+    fn sweep_json_is_machine_readable() {
+        assert!(run_tokens(&[
+            "sweep",
+            "--workloads",
+            "poa",
+            "--scale",
+            "quick",
+            "--phases",
+            "1",
+            "--instructions",
+            "2000",
+            "--jobs",
+            "2",
             "--json",
         ])
         .is_ok());

@@ -5,6 +5,7 @@ use starnuma_sim::{MigrationMode, Modality, RunConfig, RunResult, Runner};
 use starnuma_topology::{BandwidthVariant, SystemParams};
 use starnuma_trace::Workload;
 
+use crate::pool::JobPool;
 use crate::scale::ScaleConfig;
 
 /// Every system configuration evaluated in the paper, by section:
@@ -195,8 +196,9 @@ impl Experiment {
     /// For the baseline systems this follows the paper's §IV-C protocol of
     /// *choosing the best-performing migration limit per workload-system
     /// combination, from 0 upward*: both the perfect-knowledge dynamic
-    /// policy and the no-migration (limit 0, first-touch) variant are run,
-    /// and the better one is the baseline.
+    /// policy and the no-migration (limit 0, first-touch) variant are run
+    /// — in parallel on the global [`JobPool`], since each is a pure
+    /// function of its config — and the better one is the baseline.
     pub fn run(&self) -> RunResult {
         let profile = self.workload.profile();
         let tunes_limit = matches!(
@@ -206,10 +208,14 @@ impl Experiment {
         if tunes_limit {
             let mut dynamic_cfg = self.run_config();
             dynamic_cfg.migration = MigrationMode::OracleDynamic;
-            let dynamic = Runner::new(profile.clone(), dynamic_cfg).run();
             let mut zero_cfg = self.run_config();
             zero_cfg.migration = MigrationMode::FirstTouchOnly;
-            let zero = Runner::new(profile, zero_cfg).run();
+            let mut results = JobPool::global().run(vec![dynamic_cfg, zero_cfg], |_, cfg| {
+                Runner::new(profile.clone(), cfg).run()
+            });
+            // The pool returns exactly one result per job, in input order.
+            let zero = results.remove(1);
+            let dynamic = results.remove(0);
             if zero.ipc > dynamic.ipc {
                 zero
             } else {
@@ -221,15 +227,20 @@ impl Experiment {
     }
 }
 
-/// Runs `workload` on `system` and on the §V-A baseline, returning
+/// Runs `workload` on `system` and on the §V-A baseline (in parallel on
+/// the global [`JobPool`]), returning
 /// `(speedup, system result, baseline result)`.
 pub fn speedup_vs_baseline(
     workload: Workload,
     system: SystemKind,
     scale: &ScaleConfig,
 ) -> (f64, RunResult, RunResult) {
-    let base = Experiment::new(workload, SystemKind::Baseline, scale.clone()).run();
-    let sys = Experiment::new(workload, system, scale.clone()).run();
+    let mut results = JobPool::global().run(vec![SystemKind::Baseline, system], |_, kind| {
+        Experiment::new(workload, kind, scale.clone()).run()
+    });
+    // The pool returns exactly one result per job, in input order.
+    let sys = results.remove(1);
+    let base = results.remove(0);
     let speedup = if base.ipc > 0.0 {
         sys.ipc / base.ipc
     } else {

@@ -37,11 +37,13 @@
 
 pub mod chart;
 mod experiment;
+pub mod pool;
 pub mod report;
 mod scale;
 pub mod sweep;
 
 pub use experiment::{speedup_vs_baseline, Experiment, SystemKind};
+pub use pool::{set_global_jobs, JobPool};
 pub use scale::ScaleConfig;
 
 pub use starnuma_sim::{MigrationMode, Modality, PhaseStats, RunConfig, RunResult, Runner};

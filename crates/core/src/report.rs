@@ -11,6 +11,7 @@ use starnuma_topology::AccessClass;
 use starnuma_trace::Workload;
 
 use crate::experiment::SystemKind;
+use crate::sweep::SweepPoint;
 
 /// A minimal JSON value builder.
 #[derive(Clone, Debug)]
@@ -144,6 +145,29 @@ pub fn run_result_json(workload: Workload, system: SystemKind, r: &RunResult) ->
     ])
 }
 
+/// Renders a sweep curve as a JSON object: `{"knob": ..., "points":
+/// [{"x": ..., "speedup": ...}, ...]}`. `knob` names the swept parameter
+/// (e.g. `cxl_one_way_ns`, `pool_capacity_frac`).
+pub fn sweep_points_json(knob: &str, points: &[SweepPoint]) -> Json {
+    Json::Obj(vec![
+        ("knob".into(), Json::Str(knob.into())),
+        (
+            "points".into(),
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("x".into(), Json::Num(p.x)),
+                            ("speedup".into(), Json::Num(p.speedup)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +201,24 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn non_finite_rejected() {
         let _ = Json::Num(f64::NAN).render();
+    }
+
+    #[test]
+    fn sweep_points_serialize() {
+        let pts = [
+            SweepPoint {
+                x: 50.0,
+                speedup: 1.5,
+            },
+            SweepPoint {
+                x: 140.0,
+                speedup: 1.0,
+            },
+        ];
+        assert_eq!(
+            sweep_points_json("cxl_one_way_ns", &pts).render(),
+            "{\"knob\":\"cxl_one_way_ns\",\"points\":[{\"x\":50,\"speedup\":1.5},{\"x\":140,\"speedup\":1}]}"
+        );
     }
 
     #[test]

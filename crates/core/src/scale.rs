@@ -1,6 +1,7 @@
 //! Simulation-scale presets: how many phases, how long each is.
 
 use starnuma_topology::ScalePreset;
+use starnuma_types::{ConfigError, StarNumaError};
 
 /// Controls simulation length and the §V-G methodology preset.
 ///
@@ -57,23 +58,43 @@ impl ScaleConfig {
         }
     }
 
-    /// Reads `STARNUMA_SCALE` (`quick`, `default`, `full`); defaults to
-    /// [`ScaleConfig::default_scale`].
-    pub fn from_env() -> Self {
+    /// Reads `STARNUMA_SCALE` (`quick`, `default`, `full`); unset defaults
+    /// to [`ScaleConfig::default_scale`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StarNumaError::Config`] on any other value — a typo like
+    /// `ful` must fail the run, not silently fall back to the default and
+    /// mislabel an entire benchmark campaign.
+    pub fn from_env() -> Result<Self, StarNumaError> {
         match std::env::var("STARNUMA_SCALE").as_deref() {
-            Ok("quick") => Self::quick(),
-            Ok("full") => Self::full(),
-            _ => Self::default_scale(),
+            Err(_) => Ok(Self::default_scale()),
+            Ok("quick") => Ok(Self::quick()),
+            Ok("default") => Ok(Self::default_scale()),
+            Ok("full") => Ok(Self::full()),
+            Ok(other) => Err(StarNumaError::Config(ConfigError::new(format!(
+                "unknown STARNUMA_SCALE '{other}' (quick|default|full)"
+            )))),
         }
     }
 
     /// Applies a §V-G methodology preset: SC2 triples the detailed window;
     /// SC3 doubles the machine (handled in the system parameters).
+    ///
+    /// Idempotent and reversible: re-applying the current preset is a
+    /// no-op, and switching away from SC2 restores the SC1/SC3 window
+    /// length instead of compounding the tripling.
     pub fn with_preset(mut self, preset: ScalePreset) -> Self {
-        self.preset = preset;
+        if self.preset == preset {
+            return self;
+        }
+        if self.preset == ScalePreset::Sc2 {
+            self.instructions_per_phase /= 3;
+        }
         if preset == ScalePreset::Sc2 {
             self.instructions_per_phase *= 3;
         }
+        self.preset = preset;
         self
     }
 }
@@ -106,5 +127,44 @@ mod tests {
         let sc3 = ScaleConfig::quick().with_preset(ScalePreset::Sc3);
         assert_eq!(sc3.instructions_per_phase, base.instructions_per_phase);
         assert_eq!(sc3.preset, ScalePreset::Sc3);
+    }
+
+    #[test]
+    fn with_preset_is_idempotent_and_reversible() {
+        let base = ScaleConfig::quick();
+        // Regression: applying SC2 twice used to 9x the window.
+        let twice = ScaleConfig::quick()
+            .with_preset(ScalePreset::Sc2)
+            .with_preset(ScalePreset::Sc2);
+        assert_eq!(
+            twice.instructions_per_phase,
+            3 * base.instructions_per_phase
+        );
+        // Switching away from SC2 restores the original window.
+        let back = twice.with_preset(ScalePreset::Sc1);
+        assert_eq!(back.instructions_per_phase, base.instructions_per_phase);
+        assert_eq!(back.preset, ScalePreset::Sc1);
+        let via_sc3 = ScaleConfig::quick()
+            .with_preset(ScalePreset::Sc2)
+            .with_preset(ScalePreset::Sc3);
+        assert_eq!(via_sc3.instructions_per_phase, base.instructions_per_phase);
+    }
+
+    #[test]
+    fn from_env_rejects_unknown_values() {
+        // One test owns the variable end-to-end: env mutation must not
+        // race with a second test reading it.
+        std::env::set_var("STARNUMA_SCALE", "quick");
+        assert_eq!(ScaleConfig::from_env(), Ok(ScaleConfig::quick()));
+        std::env::set_var("STARNUMA_SCALE", "default");
+        assert_eq!(ScaleConfig::from_env(), Ok(ScaleConfig::default_scale()));
+        std::env::set_var("STARNUMA_SCALE", "full");
+        assert_eq!(ScaleConfig::from_env(), Ok(ScaleConfig::full()));
+        std::env::set_var("STARNUMA_SCALE", "ful");
+        let err = ScaleConfig::from_env();
+        assert!(err.is_err(), "typo must be rejected, got {err:?}");
+        assert!(format!("{}", err.unwrap_err()).contains("ful"));
+        std::env::remove_var("STARNUMA_SCALE");
+        assert_eq!(ScaleConfig::from_env(), Ok(ScaleConfig::default_scale()));
     }
 }

@@ -5,12 +5,12 @@
 //! what an architect provisioning a real MHD wants — in particular the
 //! *break-even pool latency*, beyond which StarNUMA stops paying off.
 
-use starnuma_sim::Runner;
-use starnuma_topology::SystemParams;
+use starnuma_sim::{RunConfig, Runner};
 use starnuma_trace::Workload;
 use starnuma_types::Nanos;
 
 use crate::experiment::{Experiment, SystemKind};
+use crate::pool::JobPool;
 use crate::scale::ScaleConfig;
 
 /// One sweep sample.
@@ -33,20 +33,20 @@ pub fn sweep_cxl_latency(
     scale: &ScaleConfig,
     one_way_ns: &[f64],
 ) -> Vec<SweepPoint> {
-    let base = Experiment::new(workload, SystemKind::Baseline, scale.clone()).run();
-    one_way_ns
+    let configs = one_way_ns
         .iter()
-        .map(|&ns| {
-            let mut cfg =
-                Experiment::new(workload, SystemKind::StarNuma, scale.clone()).run_config();
-            cfg.params = SystemParams::scaled_starnuma().with_cxl_one_way(Nanos::new(ns));
-            let r = Runner::new(workload.profile(), cfg).run();
-            SweepPoint {
-                x: ns,
-                speedup: r.ipc / base.ipc,
-            }
-        })
-        .collect()
+        .map(|&ns| (ns, latency_point_config(workload, scale, ns)))
+        .collect();
+    run_sweep(workload, scale, configs)
+}
+
+/// The [`RunConfig`] for one latency-sweep point: the StarNUMA system at
+/// `scale` with only the one-way CXL latency overridden. Everything else —
+/// including the §V-G scale preset (SC3 doubles the machine) — is kept.
+fn latency_point_config(workload: Workload, scale: &ScaleConfig, one_way_ns: f64) -> RunConfig {
+    let mut cfg = Experiment::new(workload, SystemKind::StarNuma, scale.clone()).run_config();
+    cfg.params = cfg.params.with_cxl_one_way(Nanos::new(one_way_ns));
+    cfg
 }
 
 /// Sweeps the pool capacity (as a fraction of the footprint).
@@ -55,20 +55,35 @@ pub fn sweep_pool_capacity(
     scale: &ScaleConfig,
     fractions: &[f64],
 ) -> Vec<SweepPoint> {
-    let base = Experiment::new(workload, SystemKind::Baseline, scale.clone()).run();
-    fractions
+    let configs = fractions
         .iter()
         .map(|&frac| {
             let mut cfg =
                 Experiment::new(workload, SystemKind::StarNuma, scale.clone()).run_config();
             cfg.pool_capacity_frac = frac;
-            let r = Runner::new(workload.profile(), cfg).run();
-            SweepPoint {
-                x: frac,
-                speedup: r.ipc / base.ipc,
-            }
+            (frac, cfg)
         })
-        .collect()
+        .collect();
+    run_sweep(workload, scale, configs)
+}
+
+/// Runs the baseline plus every `(x, config)` point on the global
+/// [`JobPool`] and normalizes each point's IPC to the baseline's. Results
+/// are in input order and bit-identical to a sequential sweep.
+fn run_sweep(
+    workload: Workload,
+    scale: &ScaleConfig,
+    configs: Vec<(f64, RunConfig)>,
+) -> Vec<SweepPoint> {
+    let base = Experiment::new(workload, SystemKind::Baseline, scale.clone()).run();
+    let profile = workload.profile();
+    JobPool::global().run(configs, |_, (x, cfg)| {
+        let r = Runner::new(profile.clone(), cfg).run();
+        SweepPoint {
+            x,
+            speedup: r.ipc / base.ipc,
+        }
+    })
 }
 
 /// Linear-interpolated `x` where a descending sweep crosses `speedup = 1.0`,
@@ -121,6 +136,26 @@ mod tests {
             },
         ];
         assert!(break_even(&pts).is_none());
+    }
+
+    #[test]
+    fn latency_sweep_honors_scale_preset() {
+        use starnuma_topology::ScalePreset;
+        // Regression: the sweep used to rebuild SystemParams from scratch,
+        // silently dropping the SC3 machine-doubling preset.
+        let sc1 = ScaleConfig::quick();
+        let sc3 = ScaleConfig::quick().with_preset(ScalePreset::Sc3);
+        let cfg1 = latency_point_config(Workload::Bfs, &sc1, 70.0);
+        let cfg3 = latency_point_config(Workload::Bfs, &sc3, 70.0);
+        assert_eq!(
+            cfg3.params.cores_per_socket,
+            2 * cfg1.params.cores_per_socket,
+            "SC3 must double the machine in latency-sweep configs"
+        );
+        assert!(cfg3.params.cxl_bw.raw() > cfg1.params.cxl_bw.raw());
+        // And the knob itself is still applied on both.
+        assert_eq!(cfg1.params.cxl_one_way.raw(), 70.0);
+        assert_eq!(cfg3.params.cxl_one_way.raw(), 70.0);
     }
 
     #[test]

@@ -12,7 +12,10 @@ use starnuma::sweep::{break_even, sweep_cxl_latency, sweep_pool_capacity};
 use starnuma::{ScaleConfig, Workload};
 
 fn main() {
-    let scale = ScaleConfig::from_env();
+    let scale = ScaleConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let workload = Workload::Masstree;
     println!("Capacity planning for {workload}\n");
 

@@ -14,7 +14,10 @@ use starnuma::{
 };
 
 fn main() {
-    let scale = ScaleConfig::from_env();
+    let scale = ScaleConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let kernels = [Workload::Sssp, Workload::Bfs, Workload::Cc, Workload::Tc];
 
     println!("Vagabond pages in graph analytics (sharing-degree profile)\n");

@@ -9,7 +9,10 @@
 use starnuma::{Experiment, ScaleConfig, SystemKind, Workload};
 
 fn main() {
-    let scale = ScaleConfig::from_env();
+    let scale = ScaleConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     // One latency-sensitive and one bandwidth-sensitive workload.
     let workloads = [Workload::Tc, Workload::Sssp];
 

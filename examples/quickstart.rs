@@ -10,7 +10,10 @@
 use starnuma::{AccessClass, Experiment, ScaleConfig, SystemKind, Workload};
 
 fn main() {
-    let scale = ScaleConfig::from_env();
+    let scale = ScaleConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let workload = Workload::Bfs;
     println!("StarNUMA quickstart — {workload} on a 16-socket system\n");
 
