@@ -14,7 +14,10 @@
 //!     order leaks into stats; use `BTreeMap` / `BTreeSet` or sorted
 //!     drains);
 //!   - **SN004** — every crate root carries `#![forbid(unsafe_code)]` and
-//!     `#![warn(missing_docs)]`.
+//!     `#![warn(missing_docs)]`;
+//!   - **SN005** — no direct `println!` / `eprintln!` in library crates
+//!     (operator-visible output flows through the obs event journal; only
+//!     the CLI, the bench harness, and the obs exporters print).
 //!
 //! * **Pass 2 — model validation**: the `diagnostics()` methods on
 //!   `SystemParams`, `PolicyConfig`, `MigrationCosts`, and `RunConfig`
@@ -42,4 +45,4 @@ mod report;
 mod scanner;
 
 pub use report::{render_human, render_json};
-pub use scanner::{lint_source, lint_workspace, wallclock_exempt};
+pub use scanner::{lint_source, lint_workspace, println_exempt, wallclock_exempt};

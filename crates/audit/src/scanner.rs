@@ -18,6 +18,14 @@ pub fn wallclock_exempt() -> &'static [&'static str] {
     &["bench"]
 }
 
+/// Crate directory names exempt from SN005 (direct prints): the CLI and
+/// the benchmark harness are operator-facing front ends, and the obs crate
+/// owns structured rendering. Library crates must route operator-visible
+/// output through the obs event journal instead of printing.
+pub fn println_exempt() -> &'static [&'static str] {
+    &["bench", "cli", "obs"]
+}
+
 /// Scans a workspace rooted at `root`: `src/` plus every `crates/*/src/`.
 ///
 /// Returns all findings, sorted by file then line, so output order is
@@ -57,6 +65,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, StarNumaError> {
         collect_rs_files(&src, &mut files)?;
         files.sort();
         let skip_wallclock = wallclock_exempt().contains(&crate_name.as_str());
+        let skip_println = println_exempt().contains(&crate_name.as_str());
         for file in files {
             files_scanned += 1;
             let source = fs::read_to_string(&file)
@@ -71,6 +80,9 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, StarNumaError> {
             let mut f = lint_source(&label, &source, is_crate_root);
             if skip_wallclock {
                 f.retain(|d| d.code != "SN002");
+            }
+            if skip_println {
+                f.retain(|d| d.code != "SN005");
             }
             findings.extend(f);
         }
@@ -198,6 +210,16 @@ pub fn lint_source(label: &str, source: &str, is_crate_root: bool) -> Vec<Diagno
                 "hash collection in library code (iteration order is unstable)",
                 "use BTreeMap/BTreeSet (all workspace keys are Ord) or drain \
                  through a sorted Vec",
+            ));
+        }
+        // `println!(` is a suffix of `eprintln!(`, so one match covers both.
+        if !suppressed("SN005") && code.contains("println!(") {
+            findings.push(Diagnostic::error(
+                "SN005",
+                loc.clone(),
+                "direct stdout/stderr print in library code",
+                "emit a structured obs event instead (or mark \
+                 `// audit:allow(SN005)` for deliberate operator output)",
             ));
         }
 
@@ -343,6 +365,18 @@ mod tests {
     fn allow_marker_is_rule_specific() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // audit:allow(SN003)\n";
         assert_eq!(lint_source("f.rs", src, false).len(), 1);
+    }
+
+    #[test]
+    fn direct_prints_are_flagged() {
+        let src = "fn f() {\n    println!(\"hi\");\n    eprintln!(\"also\");\n}\n";
+        let codes: Vec<_> = lint_source("f.rs", src, false)
+            .into_iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(codes, vec!["SN005", "SN005"]);
+        let allowed = "fn f() {\n    eprintln!(\"ok\"); // audit:allow(SN005)\n}\n";
+        assert!(lint_source("f.rs", allowed, false).is_empty());
     }
 
     #[test]

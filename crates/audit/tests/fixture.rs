@@ -16,7 +16,7 @@ fn fixture_violations_are_found_with_exact_codes() {
     let codes: Vec<&str> = findings.iter().map(|d| d.code).collect();
     assert_eq!(
         codes,
-        ["SN001", "SN002", "SN003", "SN003", "SN004", "SN004"],
+        ["SN001", "SN002", "SN003", "SN003", "SN005", "SN004", "SN004"],
         "findings:\n{}",
         render_human(&findings)
     );
@@ -31,10 +31,10 @@ fn fixture_violations_are_found_with_exact_codes() {
 #[test]
 fn allow_marker_and_test_module_are_exempt() {
     let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
-    // The allow-marked unwrap (line 18) and the test-module unwrap (line 26)
+    // The allow-marked unwrap (line 18) and the test-module unwrap (line 30)
     // must not be reported.
     assert!(!findings.iter().any(|d| d.location.ends_with(":18")));
-    assert!(!findings.iter().any(|d| d.location.ends_with(":26")));
+    assert!(!findings.iter().any(|d| d.location.ends_with(":30")));
 }
 
 #[test]
@@ -48,9 +48,10 @@ fn a_sourceless_root_is_an_error_not_a_clean_scan() {
 fn renderers_cover_every_finding() {
     let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
     let human = render_human(&findings);
-    assert!(human.contains("6 finding(s)"), "summary in: {human}");
+    assert!(human.contains("7 finding(s)"), "summary in: {human}");
     assert!(human.contains("error[SN004]"));
+    assert!(human.contains("error[SN005]"));
     let json = render_json(&findings);
     assert!(json.starts_with('[') && json.ends_with(']'));
-    assert_eq!(json.matches("\"code\"").count(), 6);
+    assert_eq!(json.matches("\"code\"").count(), 7);
 }

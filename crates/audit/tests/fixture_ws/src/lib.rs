@@ -18,6 +18,10 @@ pub fn suppressed(v: Option<u32>) -> u32 {
     v.unwrap()
 }
 
+pub fn noisy() {
+    println!("chatty library");
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,5 +1,6 @@
 //! LRU set-associative cache.
 
+use starnuma_obs::{MetricsFrame, Observe};
 use starnuma_types::BlockAddr;
 
 /// Geometry of a set-associative cache.
@@ -86,6 +87,14 @@ impl CacheStats {
         } else {
             self.misses as f64 / total as f64
         }
+    }
+}
+
+impl Observe for CacheStats {
+    fn observe(&self, prefix: &str, frame: &mut MetricsFrame) {
+        frame.add_counter(&format!("{prefix}.hits"), self.hits);
+        frame.add_counter(&format!("{prefix}.misses"), self.misses);
+        frame.add_counter(&format!("{prefix}.writebacks"), self.writebacks);
     }
 }
 

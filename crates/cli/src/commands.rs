@@ -6,10 +6,11 @@ use std::process::ExitCode;
 
 use std::collections::BTreeMap;
 
+use starnuma::obs::{metrics_json, parse_flat_object, trace_jsonl, JsonValue, ObsReport, RunMeta};
 use starnuma::report::{run_result_json, Json};
 use starnuma::{
     geomean, AccessClass, CxlLatencyBreakdown, Experiment, JobPool, LatencyModel, RunResult,
-    ScaleConfig, SystemKind, TraceGenerator, Workload,
+    ScaleConfig, ScalePreset, SystemKind, TraceGenerator, Workload,
 };
 use starnuma_migration::ReplicationConfig;
 use starnuma_topology::SystemParams;
@@ -76,6 +77,66 @@ pub fn configure_jobs(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// The §V-G preset label stamped into observability exports.
+fn preset_name(preset: ScalePreset) -> &'static str {
+    match preset {
+        ScalePreset::Sc1 => "SC1",
+        ScalePreset::Sc2 => "SC2",
+        ScalePreset::Sc3 => "SC3",
+    }
+}
+
+/// Whether this invocation asked for observability output, and therefore
+/// whether the simulation should run with the [`starnuma::obs`] sink on.
+fn wants_obs(args: &Args) -> bool {
+    args.get("trace-out").is_some() || args.get("metrics-out").is_some()
+}
+
+/// The run-identity header stamped into every `--trace-out`/`--metrics-out`
+/// export. The version is the package version only — no git-describe, so
+/// identical source always produces identical files.
+fn run_meta(workload: &str, system: SystemKind, scale: &ScaleConfig) -> RunMeta {
+    RunMeta {
+        workload: workload.to_string(),
+        system: system.label().to_string(),
+        preset: preset_name(scale.preset).to_string(),
+        jobs: JobPool::global().workers() as u64,
+        seed: scale.seed,
+        version: env!("CARGO_PKG_VERSION").to_string(),
+    }
+}
+
+/// Writes an export file, mapping I/O failures onto [`ArgError`].
+fn write_out(path: &str, contents: &str) -> Result<(), ArgError> {
+    std::fs::write(path, contents).map_err(|e| ArgError(format!("cannot write {path}: {e}")))
+}
+
+/// Honors `--trace-out`/`--metrics-out` for a batch of observed runs: the
+/// trace file is the concatenation of each run's self-describing JSONL
+/// section (one `meta` line each), the metrics file a JSON array with one
+/// object per run (a bare object for a single run).
+fn write_obs_outputs(args: &Args, sections: &[(RunMeta, &ObsReport)]) -> Result<(), ArgError> {
+    if let Some(path) = args.get("trace-out") {
+        let mut out = String::new();
+        for (meta, report) in sections {
+            out.push_str(&trace_jsonl(meta, report));
+        }
+        write_out(path, &out)?;
+    }
+    if let Some(path) = args.get("metrics-out") {
+        let rendered: Vec<String> = sections
+            .iter()
+            .map(|(meta, report)| metrics_json(meta, &report.metrics))
+            .collect();
+        let payload = match rendered.as_slice() {
+            [one] => one.clone(),
+            many => format!("[{}]", many.join(",")),
+        };
+        write_out(path, &payload)?;
+    }
+    Ok(())
+}
+
 /// Builds a [`ScaleConfig`] from `--scale/--phases/--instructions/--seed`.
 pub fn parse_scale(args: &Args) -> Result<ScaleConfig, ArgError> {
     let mut scale = match args.get_or("scale", "default") {
@@ -94,7 +155,8 @@ pub fn parse_scale(args: &Args) -> Result<ScaleConfig, ArgError> {
     Ok(scale)
 }
 
-/// `starnuma run --workload W --system S [--replication FRAC] [--json]`
+/// `starnuma run --workload W --system S [--replication FRAC] [--json]
+/// [--trace-out PATH] [--metrics-out PATH] [--progress]`
 pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
         "workload",
@@ -106,13 +168,26 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
         "jobs",
         "json",
         "replication",
+        "trace-out",
+        "metrics-out",
+        "progress",
     ])?;
     configure_jobs(args)?;
+    starnuma::set_progress(args.switch("progress"));
     let workload = parse_workload(args.require("workload")?)?;
     let system = parse_system(args.get_or("system", "starnuma"))?;
     let scale = parse_scale(args)?;
-    let result = match args.get("replication") {
-        None => Experiment::new(workload, system, scale).run(),
+    let observed = wants_obs(args);
+    let (result, report) = match args.get("replication") {
+        None => {
+            let e = Experiment::new(workload, system, scale.clone());
+            if observed {
+                let (r, rep) = e.run_observed();
+                (r, Some(rep))
+            } else {
+                (e.run(), None)
+            }
+        }
         Some(frac) => {
             let frac: f64 = frac
                 .parse()
@@ -120,14 +195,24 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
             if !(0.0..=1.0).contains(&frac) {
                 return Err(ArgError("--replication must be in [0, 1]".into()));
             }
-            let mut cfg = Experiment::new(workload, system, scale).run_config();
+            let mut cfg = Experiment::new(workload, system, scale.clone()).run_config();
             cfg.replication = Some(ReplicationConfig::with_budget_frac(
                 workload.profile().footprint_pages,
                 frac,
             ));
-            starnuma::Runner::new(workload.profile(), cfg).run()
+            let runner = starnuma::Runner::new(workload.profile(), cfg);
+            if observed {
+                let (r, rep) = runner.run_with_obs();
+                (r, Some(rep))
+            } else {
+                (runner.run(), None)
+            }
         }
     };
+    if let Some(rep) = &report {
+        let meta = run_meta(workload.name(), system, &scale);
+        write_obs_outputs(args, &[(meta, rep)])?;
+    }
     if args.switch("json") {
         println!("{}", run_result_json(workload, system, &result).render());
         return Ok(());
@@ -164,7 +249,8 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `starnuma compare --workload W [--systems a,b,...] [--json]`
+/// `starnuma compare --workload W [--systems a,b,...] [--json]
+/// [--trace-out PATH] [--metrics-out PATH] [--progress]`
 pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
         "workload",
@@ -175,8 +261,12 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
         "seed",
         "jobs",
         "json",
+        "trace-out",
+        "metrics-out",
+        "progress",
     ])?;
     configure_jobs(args)?;
+    starnuma::set_progress(args.switch("progress"));
     let workload = parse_workload(args.require("workload")?)?;
     let systems: Vec<SystemKind> = args
         .get_or("systems", "baseline,starnuma,t0")
@@ -184,6 +274,7 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
         .map(parse_system)
         .collect::<Result<_, _>>()?;
     let scale = parse_scale(args)?;
+    let observed = wants_obs(args);
     // Fan every distinct system (plus the baseline, which anchors the
     // speedup column) out on the job pool; results are keyed for the
     // requested row order below.
@@ -193,15 +284,34 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
             distinct.push(*s);
         }
     }
-    let computed: BTreeMap<SystemKind, RunResult> = JobPool::global()
-        .run(distinct, |_, system| {
-            (
-                system,
-                Experiment::new(workload, system, scale.clone()).run(),
-            )
+    let computed: BTreeMap<SystemKind, (RunResult, Option<ObsReport>)> = JobPool::global()
+        .run(distinct.clone(), |_, system| {
+            let e = Experiment::new(workload, system, scale.clone());
+            if observed {
+                let (r, rep) = e.run_observed();
+                (system, (r, Some(rep)))
+            } else {
+                (system, (e.run(), None))
+            }
         })
         .into_iter()
         .collect();
+    if observed {
+        // One export section per distinct system, baseline first — the
+        // same deterministic order the fan-out used.
+        let sections: Vec<(RunMeta, &ObsReport)> = distinct
+            .iter()
+            .filter_map(|s| {
+                computed[s]
+                    .1
+                    .as_ref()
+                    .map(|rep| (run_meta(workload.name(), *s, &scale), rep))
+            })
+            .collect();
+        write_obs_outputs(args, &sections)?;
+    }
+    let computed: BTreeMap<SystemKind, RunResult> =
+        computed.into_iter().map(|(s, (r, _))| (s, r)).collect();
     let baseline = computed[&SystemKind::Baseline].clone();
     let rows: Vec<(SystemKind, RunResult)> = systems
         .into_iter()
@@ -234,7 +344,8 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `starnuma sweep --system S [--workloads a,b,...] [--json]`
+/// `starnuma sweep --system S [--workloads a,b,...] [--json]
+/// [--trace-out PATH] [--metrics-out PATH] [--progress]`
 pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
         "system",
@@ -245,8 +356,12 @@ pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         "seed",
         "jobs",
         "json",
+        "trace-out",
+        "metrics-out",
+        "progress",
     ])?;
     configure_jobs(args)?;
+    starnuma::set_progress(args.switch("progress"));
     let system = parse_system(args.get_or("system", "starnuma"))?;
     let workloads: Vec<Workload> = match args.get("workloads") {
         None => Workload::ALL.to_vec(),
@@ -256,13 +371,43 @@ pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
             .collect::<Result<_, _>>()?,
     };
     let scale = parse_scale(args)?;
+    let observed = wants_obs(args);
     // One job per workload; each job runs the system and its baseline.
-    let rows: Vec<(&str, f64)> = JobPool::global().run(workloads, |_, w| {
-        let (speedup, _, _) = starnuma::speedup_vs_baseline(w, system, &scale);
-        (w.name(), speedup)
+    // When observability output was requested, each job also carries back
+    // the *system* run's report (the baseline anchors speedups only).
+    let rows: Vec<(&str, f64, Option<ObsReport>)> = JobPool::global().run(workloads, |_, w| {
+        if observed {
+            let (speedup, _, _, sys_report, _) =
+                starnuma::speedup_vs_baseline_observed(w, system, &scale);
+            (w.name(), speedup, Some(sys_report))
+        } else {
+            let (speedup, _, _) = starnuma::speedup_vs_baseline(w, system, &scale);
+            (w.name(), speedup, None)
+        }
     });
+    if observed {
+        let sections: Vec<(RunMeta, &ObsReport)> = rows
+            .iter()
+            .filter_map(|(name, _, rep)| rep.as_ref().map(|r| (run_meta(name, system, &scale), r)))
+            .collect();
+        write_obs_outputs(args, &sections)?;
+    }
+    let rows: Vec<(&str, f64)> = rows.iter().map(|(n, s, _)| (*n, *s)).collect();
     if args.switch("json") {
-        let arr = Json::Arr(
+        // Self-describing output: a `meta` header (scale preset, worker
+        // count, seed, version) plus the per-workload results — so a sweep
+        // artifact alone records how it was produced.
+        let meta = Json::Obj(vec![
+            ("system".into(), Json::Str(system.label().into())),
+            ("preset".into(), Json::Str(preset_name(scale.preset).into())),
+            ("jobs".into(), Json::Num(JobPool::global().workers() as f64)),
+            ("seed".into(), Json::Num(scale.seed as f64)),
+            (
+                "version".into(),
+                Json::Str(env!("CARGO_PKG_VERSION").into()),
+            ),
+        ]);
+        let results = Json::Arr(
             rows.iter()
                 .map(|(name, s)| {
                     Json::Obj(vec![
@@ -273,7 +418,8 @@ pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
                 })
                 .collect(),
         );
-        println!("{}", arr.render());
+        let doc = Json::Obj(vec![("meta".into(), meta), ("results".into(), results)]);
+        println!("{}", doc.render());
         return Ok(());
     }
     println!(
@@ -418,7 +564,7 @@ pub fn cmd_trace(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `starnuma lint [--root <path>] [--format human|json] [--json]`: runs the
-/// Pass 1 source lints (SN001–SN004) over a workspace tree and exits
+/// Pass 1 source lints (SN001–SN005) over a workspace tree and exits
 /// non-zero when anything is found. Findings are not an `ArgError`: the
 /// invocation was fine, so no usage dump — just the report and the code.
 pub fn cmd_lint(args: &Args) -> Result<ExitCode, ArgError> {
@@ -442,4 +588,293 @@ pub fn cmd_lint(args: &Args) -> Result<ExitCode, ArgError> {
     } else {
         Ok(ExitCode::FAILURE)
     }
+}
+
+/// One run's worth of parsed trace lines: the `meta` header plus its
+/// `event`/`hist`/`counters` lines. A multi-run file (from `compare` or
+/// `sweep --trace-out`) concatenates sections.
+#[derive(Default)]
+struct TraceSection {
+    meta: BTreeMap<String, JsonValue>,
+    events: Vec<BTreeMap<String, JsonValue>>,
+    hists: Vec<BTreeMap<String, JsonValue>>,
+    counters: BTreeMap<String, JsonValue>,
+}
+
+fn num_of(obj: &BTreeMap<String, JsonValue>, key: &str) -> f64 {
+    obj.get(key).and_then(JsonValue::as_num).unwrap_or(0.0)
+}
+
+fn str_of<'a>(obj: &'a BTreeMap<String, JsonValue>, key: &str) -> &'a str {
+    obj.get(key).and_then(JsonValue::as_str).unwrap_or("?")
+}
+
+/// Parses a `--trace-out` JSONL file into sections, one per `meta` line.
+fn parse_trace_file(path: &str) -> Result<Vec<TraceSection>, ArgError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let mut sections: Vec<TraceSection> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line)
+            .ok_or_else(|| ArgError(format!("{path}:{}: not a flat JSON object line", i + 1)))?;
+        match obj.get("type").and_then(JsonValue::as_str) {
+            Some("meta") => sections.push(TraceSection {
+                meta: obj,
+                ..TraceSection::default()
+            }),
+            Some(kind) => {
+                let section = sections.last_mut().ok_or_else(|| {
+                    ArgError(format!(
+                        "{path}:{}: '{kind}' line before any meta line",
+                        i + 1
+                    ))
+                })?;
+                match kind {
+                    "event" => section.events.push(obj),
+                    "hist" => section.hists.push(obj),
+                    "counters" => section.counters = obj,
+                    other => {
+                        return Err(ArgError(format!(
+                            "{path}:{}: unknown line type '{other}'",
+                            i + 1
+                        )))
+                    }
+                }
+            }
+            None => {
+                return Err(ArgError(format!(
+                    "{path}:{}: line has no type field",
+                    i + 1
+                )));
+            }
+        }
+    }
+    if sections.is_empty() {
+        return Err(ArgError(format!(
+            "{path}: no meta line — not a starnuma trace"
+        )));
+    }
+    Ok(sections)
+}
+
+/// A 32-column sparkline over histogram buckets (log2-ns, bucket i covers
+/// `[2^(i-1), 2^i)` ns).
+fn sparkline(buckets: &[f64]) -> String {
+    const LEVELS: [char; 5] = [' ', '.', ':', '*', '#'];
+    let max = buckets.iter().cloned().fold(0.0_f64, f64::max);
+    buckets
+        .iter()
+        .map(|&b| {
+            if b <= 0.0 || max <= 0.0 {
+                LEVELS[0]
+            } else {
+                // Non-empty buckets always render at least a '.'.
+                let idx = 1 + ((b / max) * (LEVELS.len() - 2) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn render_section(section: &TraceSection, top: usize) {
+    let m = &section.meta;
+    println!(
+        "== {} on {} [{} seed {} jobs {} v{}] — {} events ({} dropped)",
+        str_of(m, "workload"),
+        str_of(m, "system"),
+        str_of(m, "preset"),
+        num_of(m, "seed"),
+        num_of(m, "jobs"),
+        str_of(m, "version"),
+        num_of(m, "events"),
+        num_of(m, "dropped_events"),
+    );
+
+    // Migration-decision timeline: per phase, the checkpoint summary plus
+    // aggregated policy events.
+    let max_phase = section
+        .events
+        .iter()
+        .map(|e| num_of(e, "phase") as u64)
+        .max();
+    if let Some(max_phase) = max_phase {
+        println!("migration timeline:");
+        for phase in 0..=max_phase {
+            let in_phase: Vec<_> = section
+                .events
+                .iter()
+                .filter(|e| num_of(e, "phase") as u64 == phase)
+                .collect();
+            let mut line = format!("  phase {phase}:");
+            if let Some(cp) = in_phase
+                .iter()
+                .find(|e| str_of(e, "name") == "phase_checkpoint")
+            {
+                line += &format!(
+                    " planned {} modeled {} (budget {})",
+                    num_of(cp, "planned_moves"),
+                    num_of(cp, "modeled_moves"),
+                    num_of(cp, "budget_pages"),
+                );
+            }
+            let migrated: Vec<_> = in_phase
+                .iter()
+                .filter(|e| str_of(e, "name") == "region_migrated")
+                .collect();
+            let pages: u64 = migrated.iter().map(|e| num_of(e, "pages") as u64).sum();
+            line += &format!(" | {} regions -> {pages} pages", migrated.len());
+            let evictions = in_phase
+                .iter()
+                .filter(|e| str_of(e, "name") == "pool_victim_evicted")
+                .count();
+            if evictions > 0 {
+                line += &format!(" | {evictions} evictions");
+            }
+            let pressure = in_phase
+                .iter()
+                .filter(|e| str_of(e, "cat") == "pool_pressure" && str_of(e, "level") == "warn")
+                .count();
+            if pressure > 0 {
+                line += &format!(" | {pressure} pool-pressure warnings");
+            }
+            if let Some(adapt) = in_phase
+                .iter()
+                .rfind(|e| str_of(e, "name") == "hi_threshold_adapted")
+            {
+                line += &format!(
+                    " | hi {} -> {}",
+                    num_of(adapt, "old_hi"),
+                    num_of(adapt, "new_hi")
+                );
+            }
+            if in_phase
+                .iter()
+                .any(|e| str_of(e, "name") == "migration_limit_reached")
+            {
+                line += " | LIMIT HIT";
+            }
+            println!("{line}");
+        }
+    }
+
+    // Top-N migrated regions by pages moved.
+    let mut per_region: BTreeMap<u64, (f64, usize, String)> = BTreeMap::new();
+    for e in &section.events {
+        if str_of(e, "name") != "region_migrated" {
+            continue;
+        }
+        let entry = per_region
+            .entry(num_of(e, "region") as u64)
+            .or_insert((0.0, 0, String::new()));
+        entry.0 += num_of(e, "pages");
+        entry.1 += 1;
+        entry.2 = str_of(e, "dest").to_string();
+    }
+    if !per_region.is_empty() {
+        let mut ranked: Vec<_> = per_region.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1 .0
+                .partial_cmp(&a.1 .0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        println!("top {} migrated regions (by pages):", top.min(ranked.len()));
+        for (region, (pages, moves, dest)) in ranked.into_iter().take(top) {
+            println!("  region {region:<8} {pages:>8} pages  last dest {dest:<10} ({moves} moves)");
+        }
+    }
+
+    // Per-socket latency histograms (log2-ns buckets, 1 ns .. 2^31 ns).
+    if !section.hists.is_empty() {
+        println!("per-socket access-latency histograms (32 log2-ns buckets):");
+        for h in &section.hists {
+            let buckets = match h.get("buckets") {
+                Some(JsonValue::Arr(b)) => b.clone(),
+                _ => Vec::new(),
+            };
+            println!(
+                "  socket {:>3} {:<10} count {:>10} mean {:>7.0} ns |{}|",
+                num_of(h, "socket"),
+                str_of(h, "class"),
+                num_of(h, "count"),
+                num_of(h, "mean_ns"),
+                sparkline(&buckets),
+            );
+        }
+    }
+
+    if section.counters.len() > 1 {
+        println!(
+            "substrate counters: {} keys (see --trace-out JSONL)",
+            section.counters.len() - 1
+        );
+    }
+    println!();
+}
+
+/// Converts parsed event lines back into Chrome `trace_event` JSON.
+fn chrome_from_sections(sections: &[TraceSection]) -> String {
+    let mut trace_events = Vec::new();
+    for section in sections {
+        for e in &section.events {
+            let mut event_args = vec![(
+                "level".to_string(),
+                Json::Str(str_of(e, "level").to_string()),
+            )];
+            for (k, v) in e {
+                if matches!(
+                    k.as_str(),
+                    "type" | "seq" | "phase" | "level" | "cat" | "name"
+                ) {
+                    continue;
+                }
+                let value = match v {
+                    JsonValue::Num(n) => Json::Num(*n),
+                    JsonValue::Str(s) => Json::Str(s.clone()),
+                    JsonValue::Arr(a) => Json::Arr(a.iter().map(|n| Json::Num(*n)).collect()),
+                };
+                event_args.push((k.clone(), value));
+            }
+            trace_events.push(Json::Obj(vec![
+                ("name".into(), Json::Str(str_of(e, "name").into())),
+                ("cat".into(), Json::Str(str_of(e, "cat").into())),
+                ("ph".into(), Json::Str("i".into())),
+                ("ts".into(), Json::Num(num_of(e, "seq"))),
+                ("pid".into(), Json::Num(0.0)),
+                ("tid".into(), Json::Num(num_of(e, "phase"))),
+                ("s".into(), Json::Str("t".into())),
+                ("args".into(), Json::Obj(event_args)),
+            ]));
+        }
+    }
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(trace_events)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+    ])
+    .render()
+}
+
+/// `starnuma inspect <trace.jsonl> [--top N] [--chrome PATH]`: renders a
+/// human summary of a `--trace-out` file — run identity, the per-phase
+/// migration-decision timeline, the most-migrated regions, and per-socket
+/// access-latency histograms — and can re-emit the journal as Chrome
+/// `trace_event` JSON for `about://tracing` / Perfetto.
+pub fn cmd_inspect(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["top", "chrome"])?;
+    let path = args.subcommand().ok_or_else(|| {
+        ArgError("inspect needs a trace file: starnuma inspect <trace.jsonl>".into())
+    })?;
+    let top = args.get_u64("top", 10)? as usize;
+    let sections = parse_trace_file(path)?;
+    for section in &sections {
+        render_section(section, top);
+    }
+    if let Some(out) = args.get("chrome") {
+        write_out(out, &chrome_from_sections(&sections))?;
+        println!("wrote Chrome trace_event JSON to {out}");
+    }
+    Ok(())
 }

@@ -8,12 +8,16 @@
 //! starnuma workloads
 //! starnuma trace gen  --workload bfs --out bfs.sntr [--instructions N]
 //! starnuma trace info --in bfs.sntr
+//! starnuma inspect  trace.jsonl [--top N] [--chrome out.json]
 //! starnuma lint     [--root .] [--format human|json]
 //! ```
 //!
 //! All simulation commands accept `--scale quick|default|full`,
 //! `--phases N`, `--instructions N`, `--seed N`, and `--jobs N` (worker
-//! threads for independent runs; `STARNUMA_JOBS` sets the default).
+//! threads for independent runs; `STARNUMA_JOBS` sets the default), plus
+//! the observability flags `--trace-out <path>` (structured JSONL event
+//! journal + latency histograms), `--metrics-out <path>` (per-phase and
+//! merged metrics JSON), and `--progress` (live run counts on stderr).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -46,6 +50,7 @@ pub fn run(raw: Vec<String>) -> Result<ExitCode, ArgError> {
         "topology" => commands::cmd_topology(&args).map(|()| ExitCode::SUCCESS),
         "workloads" => commands::cmd_workloads(&args).map(|()| ExitCode::SUCCESS),
         "trace" => commands::cmd_trace(&args).map(|()| ExitCode::SUCCESS),
+        "inspect" => commands::cmd_inspect(&args).map(|()| ExitCode::SUCCESS),
         "lint" => commands::cmd_lint(&args),
         other => Err(ArgError(format!("unknown command '{other}'"))),
     }
@@ -78,7 +83,13 @@ commands:
               --workload <name> --out <path> [--instructions N] [--seed N]
   trace info inspect a trace file
               --in <path>
-  lint      run the SN001–SN004 source lints over a workspace tree
+  inspect   summarize a --trace-out JSONL file: run identity, the
+            per-phase migration timeline, top migrated regions, and
+            per-socket access-latency histograms
+              --top <n>                regions to list (default 10)
+              --chrome <path>          also write Chrome trace_event JSON
+                                       (open in about://tracing / Perfetto)
+  lint      run the SN001–SN005 source lints over a workspace tree
               --root <path>            (default .)
               --format human|json      (default human; --json is a shorthand)
 
@@ -86,6 +97,11 @@ common simulation flags:
   --scale quick|default|full   --phases N   --instructions N   --seed N
   --jobs N    worker threads for independent runs (default: STARNUMA_JOBS,
               else all cores; results are bit-identical at any worker count)
+
+observability (run, compare, sweep):
+  --trace-out <path>    structured JSONL: events + per-socket histograms
+  --metrics-out <path>  per-phase + merged metrics JSON
+  --progress            live `k/n runs complete` + ETA lines on stderr
 
 systems: baseline, first-touch, isobw, 2xbw, baseline-static,
          starnuma (t16), t0, halfbw, cxlswitch, smallpool, starnuma-static"

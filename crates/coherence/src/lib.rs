@@ -38,6 +38,7 @@
 
 use std::collections::BTreeMap;
 
+use starnuma_obs::{MetricsFrame, Observe};
 use starnuma_types::{BlockAddr, Location, SocketId};
 
 /// How the requested data was supplied.
@@ -81,6 +82,20 @@ pub struct DirectoryStats {
     pub invalidations: u64,
     /// Dirty writebacks received.
     pub writebacks: u64,
+}
+
+impl Observe for DirectoryStats {
+    fn observe(&self, prefix: &str, frame: &mut MetricsFrame) {
+        frame.add_counter(&format!("{prefix}.transactions"), self.transactions);
+        frame.add_counter(
+            &format!("{prefix}.pool_transactions"),
+            self.pool_transactions,
+        );
+        frame.add_counter(&format!("{prefix}.bt_socket"), self.bt_socket);
+        frame.add_counter(&format!("{prefix}.bt_pool"), self.bt_pool);
+        frame.add_counter(&format!("{prefix}.invalidations"), self.invalidations);
+        frame.add_counter(&format!("{prefix}.writebacks"), self.writebacks);
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]

@@ -1,6 +1,7 @@
 //! The paper's experimental configurations as a single enum, and the
 //! experiment runner.
 
+use starnuma_obs::ObsReport;
 use starnuma_sim::{MigrationMode, Modality, RunConfig, RunResult, Runner};
 use starnuma_topology::{BandwidthVariant, SystemParams};
 use starnuma_trace::Workload;
@@ -225,6 +226,40 @@ impl Experiment {
             Runner::new(profile, self.run_config()).run()
         }
     }
+
+    /// Like [`Experiment::run`], but with the observability layer enabled:
+    /// also returns the run's [`ObsReport`] (per-socket latency histograms,
+    /// substrate counters, and the structured event journal).
+    ///
+    /// For the limit-tuned baselines both candidate runs are observed and
+    /// the winner's report is returned, so the report always describes the
+    /// result that is reported.
+    pub fn run_observed(&self) -> (RunResult, ObsReport) {
+        let profile = self.workload.profile();
+        let tunes_limit = matches!(
+            self.system,
+            SystemKind::Baseline | SystemKind::BaselineIsoBw | SystemKind::Baseline2xBw
+        );
+        if tunes_limit {
+            let mut dynamic_cfg = self.run_config();
+            dynamic_cfg.migration = MigrationMode::OracleDynamic;
+            let mut zero_cfg = self.run_config();
+            zero_cfg.migration = MigrationMode::FirstTouchOnly;
+            let mut results = JobPool::global().run(vec![dynamic_cfg, zero_cfg], |_, cfg| {
+                Runner::new(profile.clone(), cfg).run_with_obs()
+            });
+            // The pool returns exactly one result per job, in input order.
+            let zero = results.remove(1);
+            let dynamic = results.remove(0);
+            if zero.0.ipc > dynamic.0.ipc {
+                zero
+            } else {
+                dynamic
+            }
+        } else {
+            Runner::new(profile, self.run_config()).run_with_obs()
+        }
+    }
 }
 
 /// Runs `workload` on `system` and on the §V-A baseline (in parallel on
@@ -247,6 +282,29 @@ pub fn speedup_vs_baseline(
         0.0
     };
     (speedup, sys, base)
+}
+
+/// [`speedup_vs_baseline`] with the observability layer enabled on **both**
+/// runs, returning `(speedup, system result, baseline result, system
+/// report, baseline report)`. Harness paths that honor `--trace-out` /
+/// `--metrics-out` use this; everything else keeps the report-free variant.
+pub fn speedup_vs_baseline_observed(
+    workload: Workload,
+    system: SystemKind,
+    scale: &ScaleConfig,
+) -> (f64, RunResult, RunResult, ObsReport, ObsReport) {
+    let mut results = JobPool::global().run(vec![SystemKind::Baseline, system], |_, kind| {
+        Experiment::new(workload, kind, scale.clone()).run_observed()
+    });
+    // The pool returns exactly one result per job, in input order.
+    let (sys, sys_report) = results.remove(1);
+    let (base, base_report) = results.remove(0);
+    let speedup = if base.ipc > 0.0 {
+        sys.ipc / base.ipc
+    } else {
+        0.0
+    };
+    (speedup, sys, base, sys_report, base_report)
 }
 
 #[cfg(test)]

@@ -18,7 +18,11 @@
 //! * [`starnuma_coherence`]: the distributed MESI directory;
 //! * [`starnuma_trace`]: synthetic workload generation (step A);
 //! * [`starnuma_migration`]: region trackers, Algorithm 1, oracles;
-//! * [`starnuma_sim`]: the discrete-event timing simulator (steps B+C).
+//! * [`starnuma_sim`]: the discrete-event timing simulator (steps B+C);
+//! * [`starnuma_obs`] (re-exported as [`obs`]): the zero-dependency
+//!   observability layer — per-socket latency histograms, substrate
+//!   counters, and the structured event journal with JSONL / Chrome
+//!   `trace_event` exporters.
 //!
 //! # Quick start
 //!
@@ -42,9 +46,11 @@ pub mod report;
 mod scale;
 pub mod sweep;
 
-pub use experiment::{speedup_vs_baseline, Experiment, SystemKind};
-pub use pool::{set_global_jobs, JobPool};
+pub use experiment::{speedup_vs_baseline, speedup_vs_baseline_observed, Experiment, SystemKind};
+pub use pool::{set_global_jobs, set_progress, JobPool};
 pub use scale::ScaleConfig;
+
+pub use starnuma_obs as obs;
 
 pub use starnuma_sim::{MigrationMode, Modality, PhaseStats, RunConfig, RunResult, Runner};
 pub use starnuma_topology::{

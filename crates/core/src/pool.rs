@@ -21,18 +21,25 @@
 //! from deep inside library code, treats an unparsable value as unset
 //! rather than panicking.
 //!
-//! No wall-clock is involved anywhere (SN002): the pool schedules *host*
+//! No wall-clock feeds any *result* (SN002): the pool schedules *host*
 //! threads, while every simulated timestamp stays virtual and is derived
-//! only from the run's own configuration.
+//! only from the run's own configuration. The one deliberate exception is
+//! the opt-in progress meter ([`set_progress`], the CLI's `--progress`
+//! flag), which uses host time purely for the operator-facing ETA printed
+//! to stderr — it never touches a simulated quantity.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use starnuma_types::{ConfigError, StarNumaError};
 
 /// Process-wide worker-count override; 0 means "not set".
 static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether top-level fan-outs report progress on stderr.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
 
 thread_local! {
     /// Whether the current thread is itself a pool worker. Nested
@@ -48,6 +55,56 @@ thread_local! {
 /// the CLI's `--jobs` flag and determinism tests. Later calls win.
 pub fn set_global_jobs(workers: usize) {
     GLOBAL_JOBS.store(workers.max(1), Ordering::SeqCst);
+}
+
+/// Enables (or disables) progress reporting for the rest of the process:
+/// every subsequent *top-level* [`JobPool::run`] fan-out of more than one
+/// job prints `k/n runs complete` lines with an ETA to stderr as results
+/// land. Nested fan-outs (a sweep point tuning its baseline pair) stay
+/// silent — only the outermost job list is the operator-visible unit of
+/// work. Off by default; the CLI's `--progress` flag turns it on.
+pub fn set_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::SeqCst);
+}
+
+/// Counts completed jobs of one top-level fan-out and prints progress/ETA
+/// lines to stderr. Host wall-clock is used *only* here, for the operator
+/// ETA — it never feeds a simulated quantity.
+struct ProgressMeter {
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+}
+
+impl ProgressMeter {
+    fn new(total: usize) -> Self {
+        ProgressMeter {
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(), // audit:allow(SN002) — operator ETA only
+        }
+    }
+
+    /// Records one finished job and reports. Called from worker threads;
+    /// `eprintln!` takes a lock per call, so concurrent lines never shear.
+    fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::SeqCst) + 1;
+        let elapsed = self.start.elapsed().as_secs_f64();
+        if done < self.total {
+            let eta = elapsed / done as f64 * (self.total - done) as f64;
+            // audit:allow(SN005) — operator-facing progress, stderr only
+            eprintln!(
+                "starnuma: {done}/{} runs complete, ETA ~{eta:.0}s",
+                self.total
+            );
+        } else {
+            // audit:allow(SN005) — operator-facing progress, stderr only
+            eprintln!(
+                "starnuma: {done}/{} runs complete in {elapsed:.1}s",
+                self.total
+            );
+        }
+    }
 }
 
 /// Parses `STARNUMA_JOBS`; `Ok(None)` when unset.
@@ -161,12 +218,26 @@ impl JobPool {
     {
         let n = jobs.len();
         let workers = self.workers.min(n);
-        if workers <= 1 || IN_WORKER.with(Cell::get) {
-            return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
+        let nested = IN_WORKER.with(Cell::get);
+        let meter =
+            (PROGRESS.load(Ordering::SeqCst) && !nested && n > 1).then(|| ProgressMeter::new(n));
+        if workers <= 1 || nested {
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, j)| {
+                    let r = f(i, j);
+                    if let Some(m) = &meter {
+                        m.tick();
+                    }
+                    r
+                })
+                .collect();
         }
         let queue = Mutex::new(jobs.into_iter().enumerate());
         let queue = &queue;
         let f = &f;
+        let meter = &meter;
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         std::thread::scope(|s| {
@@ -185,6 +256,9 @@ impl JobPool {
                             };
                             let Some((i, job)) = next else { break };
                             done.push((i, f(i, job)));
+                            if let Some(m) = meter {
+                                m.tick();
+                            }
                         }
                         done
                     })

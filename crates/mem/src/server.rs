@@ -1,5 +1,6 @@
 //! A FIFO bandwidth server: the primitive behind every link and channel.
 
+use starnuma_obs::{MetricsFrame, Observe};
 use starnuma_types::{Cycles, GbPerSec};
 
 /// Cumulative utilization statistics of a [`FifoServer`].
@@ -32,6 +33,15 @@ impl ServerStats {
         } else {
             self.busy_cycles.raw() as f64 / elapsed.raw() as f64
         }
+    }
+}
+
+impl Observe for ServerStats {
+    fn observe(&self, prefix: &str, frame: &mut MetricsFrame) {
+        frame.add_counter(&format!("{prefix}.transfers"), self.transfers);
+        frame.add_counter(&format!("{prefix}.bytes"), self.bytes);
+        frame.add_counter(&format!("{prefix}.busy_cycles"), self.busy_cycles.raw());
+        frame.add_counter(&format!("{prefix}.wait_cycles"), self.wait_cycles.raw());
     }
 }
 

@@ -1,9 +1,18 @@
 //! Algorithm 1: threshold-based migration candidate selection.
 
+use starnuma_obs::{EventCategory, EventLevel, FieldValue, ObsSink};
 use starnuma_types::{Diagnostic, Location, PageId, RegionId, SimRng, REGION_PAGES};
 
 use crate::page_map::PageMap;
 use crate::tracker::MetadataRegion;
+
+/// Renders a page location as a journal field (`"pool"` / `"socket7"`).
+fn location_field(loc: Location) -> FieldValue {
+    match loc {
+        Location::Pool => FieldValue::Str("pool".to_string()),
+        Location::Socket(s) => FieldValue::Str(format!("socket{}", s.index())),
+    }
+}
 
 /// One page movement of a migration plan.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -209,10 +218,25 @@ impl ThresholdPolicy {
         map: &mut PageMap,
         rng: &mut SimRng,
     ) -> MigrationPlan {
+        self.decide_observed(meta, map, rng, &mut ObsSink::disabled())
+    }
+
+    /// [`ThresholdPolicy::decide`] journaling every decision into `obs`:
+    /// region migrations, pool-capacity pressure (victim evictions and
+    /// full-pool skips), the per-phase migration-limit crossing, and HI
+    /// threshold adaptations.
+    pub fn decide_observed(
+        &mut self,
+        meta: &MetadataRegion,
+        map: &mut PageMap,
+        rng: &mut SimRng,
+        obs: &mut ObsSink,
+    ) -> MigrationPlan {
         self.phase += 1;
         let mut plan = MigrationPlan::default();
         let mut n_migrated_pages = 0u64;
         let mut candidates = 0u64;
+        let mut limit_reported = false;
         let num_sockets = meta.num_sockets();
 
         for (region, entry) in meta.iter() {
@@ -231,6 +255,21 @@ impl ThresholdPolicy {
             if n_migrated_pages >= self.config.migration_limit_pages {
                 // Line 29–31: the limit stops migrations for this phase, but
                 // the scan still counts candidates to drive HI adaptation.
+                if !limit_reported {
+                    limit_reported = true;
+                    let limit = self.config.migration_limit_pages;
+                    obs.event(
+                        EventLevel::Warn,
+                        EventCategory::Threshold,
+                        "migration_limit_reached",
+                        || {
+                            vec![
+                                ("limit_pages", FieldValue::U64(limit)),
+                                ("migrated_pages", FieldValue::U64(n_migrated_pages)),
+                            ]
+                        },
+                    );
+                }
                 continue;
             }
             let sharers = entry.sharers(num_sockets);
@@ -254,20 +293,33 @@ impl ThresholdPolicy {
                     .filter(|p| p.pfn() < map.len() && map.location(*p) != Location::Pool)
                     .count() as u64;
                 if map.pool_free_pages() < region_pages {
-                    let freed = self.evict_victims(
-                        meta,
-                        map,
-                        region_pages - map.pool_free_pages(),
-                        region,
-                        rng,
-                        &mut plan,
+                    let shortfall = region_pages - map.pool_free_pages();
+                    obs.event(
+                        EventLevel::Warn,
+                        EventCategory::PoolPressure,
+                        "pool_pressure",
+                        || {
+                            vec![
+                                ("region", FieldValue::U64(region.index())),
+                                ("needed_pages", FieldValue::U64(shortfall)),
+                            ]
+                        },
                     );
+                    let freed =
+                        self.evict_victims(meta, map, shortfall, region, rng, &mut plan, obs);
                     if map.pool_free_pages() + freed < region_pages {
+                        obs.event(
+                            EventLevel::Warn,
+                            EventCategory::PoolPressure,
+                            "pool_full_skip",
+                            || vec![("region", FieldValue::U64(region.index()))],
+                        );
                         continue; // no victim found: skip this candidate
                     }
                 }
             }
             // Line 24–26: perform the migration.
+            let pages_before = n_migrated_pages;
             for page in region.pages() {
                 if page.pfn() >= map.len() {
                     break;
@@ -286,16 +338,34 @@ impl ThresholdPolicy {
                     }
                 }
             }
+            let pages_moved = n_migrated_pages - pages_before;
+            if pages_moved > 0 {
+                obs.event(
+                    EventLevel::Info,
+                    EventCategory::Migration,
+                    "region_migrated",
+                    || {
+                        vec![
+                            ("region", FieldValue::U64(region.index())),
+                            ("pages", FieldValue::U64(pages_moved)),
+                            ("sharers", FieldValue::U64(u64::from(entry.sharer_count()))),
+                            ("accesses", FieldValue::U64(entry.accesses)),
+                            ("dest", location_field(best)),
+                        ]
+                    },
+                );
+            }
             self.region_migration_count[region.index() as usize] += 1;
         }
         self.pages_migrated += n_migrated_pages;
-        self.adapt_thresholds(candidates);
+        self.adapt_thresholds(candidates, obs);
         plan
     }
 
     /// Finds cold victim regions in the pool (accesses ≤ LO) and moves them
     /// to a random sharer until `needed` pages are freed. Returns pages
     /// freed.
+    #[allow(clippy::too_many_arguments)] // internal helper mirroring Algorithm 1 line 13-23 state
     fn evict_victims(
         &mut self,
         meta: &MetadataRegion,
@@ -304,6 +374,7 @@ impl ThresholdPolicy {
         exclude: RegionId,
         rng: &mut SimRng,
         plan: &mut MigrationPlan,
+        obs: &mut ObsSink,
     ) -> u64 {
         let mut freed = 0u64;
         for (victim, ventry) in meta.iter() {
@@ -334,6 +405,7 @@ impl ThresholdPolicy {
             } else {
                 Location::Socket(sharers[rng.gen_range(0..sharers.len())])
             };
+            let freed_before = freed;
             for page in victim.pages() {
                 if page.pfn() >= map.len() {
                     break;
@@ -348,16 +420,32 @@ impl ThresholdPolicy {
                     freed += 1;
                 }
             }
+            let evicted = freed - freed_before;
+            if evicted > 0 {
+                obs.event(
+                    EventLevel::Info,
+                    EventCategory::PoolPressure,
+                    "pool_victim_evicted",
+                    || {
+                        vec![
+                            ("region", FieldValue::U64(victim.index())),
+                            ("pages", FieldValue::U64(evicted)),
+                            ("dest", location_field(dst)),
+                        ]
+                    },
+                );
+            }
         }
         freed
     }
 
     /// Dynamic threshold adjustment (§IV-C): HI follows the candidate count
     /// relative to the migration limit; LO follows HI.
-    fn adapt_thresholds(&mut self, candidates: u64) {
+    fn adapt_thresholds(&mut self, candidates: u64, obs: &mut ObsSink) {
         if self.config.t0 {
             return;
         }
+        let old_hi = self.hi;
         let limit_regions = (self.config.migration_limit_pages / REGION_PAGES as u64).max(1);
         if candidates > limit_regions * 2 {
             self.hi = (self.hi * 2).min(self.config.hi_max);
@@ -369,6 +457,22 @@ impl ThresholdPolicy {
             self.hi = (self.hi / 2).max(self.config.hi_min);
         }
         self.lo = (self.hi / 20).clamp(self.config.lo_init, self.config.lo_max);
+        if self.hi != old_hi {
+            let (new_hi, new_lo) = (self.hi, self.lo);
+            obs.event(
+                EventLevel::Debug,
+                EventCategory::Threshold,
+                "hi_threshold_adapted",
+                || {
+                    vec![
+                        ("old_hi", FieldValue::U64(old_hi)),
+                        ("new_hi", FieldValue::U64(new_hi)),
+                        ("new_lo", FieldValue::U64(new_lo)),
+                        ("candidates", FieldValue::U64(candidates)),
+                    ]
+                },
+            );
+        }
     }
 }
 

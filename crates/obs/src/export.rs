@@ -1,0 +1,558 @@
+//! Exporters: JSONL trace journal, metrics JSON, and Chrome `trace_event`
+//! output — plus the tiny flat-JSON parser `starnuma inspect` reads traces
+//! back with.
+//!
+//! All rendering is hand-rolled (this crate takes no dependencies) and
+//! deterministic: counters come from `BTreeMap`s, floats use Rust's
+//! shortest-roundtrip formatting, and nothing consults the host clock.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::journal::{Event, FieldValue};
+use crate::metrics::{LatencyHistogram, MetricsFrame, MetricsRegistry};
+use crate::sink::ObsReport;
+
+/// Self-describing run identity stamped into every export.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunMeta {
+    /// Workload label (e.g. `bc-web`).
+    pub workload: String,
+    /// System label (e.g. `starnuma-dyn`).
+    pub system: String,
+    /// Scale preset label (`SC1`/`SC2`/`SC3`).
+    pub preset: String,
+    /// Worker count the harness ran with.
+    pub jobs: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Package version string (no git-describe, so builds stay
+    /// reproducible).
+    pub version: String,
+}
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn num(v: f64, out: &mut String) {
+    debug_assert!(v.is_finite(), "non-finite value in obs export");
+    let v = if v.is_finite() { v } else { 0.0 };
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn field(key: &str, value: &FieldValue, out: &mut String) {
+    esc(key, out);
+    out.push(':');
+    match value {
+        FieldValue::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        FieldValue::F64(f) => num(*f, out),
+        FieldValue::Str(s) => esc(s, out),
+    }
+}
+
+fn meta_fields(meta: &RunMeta, out: &mut String) {
+    out.push_str("\"workload\":");
+    esc(&meta.workload, out);
+    out.push_str(",\"system\":");
+    esc(&meta.system, out);
+    out.push_str(",\"preset\":");
+    esc(&meta.preset, out);
+    let _ = write!(out, ",\"jobs\":{},\"seed\":{}", meta.jobs, meta.seed);
+    out.push_str(",\"version\":");
+    esc(&meta.version, out);
+}
+
+fn event_line(e: &Event, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"event\",\"seq\":{},\"phase\":{},\"level\":\"{}\",\"cat\":\"{}\",\"name\":",
+        e.seq,
+        e.phase,
+        e.level.label(),
+        e.category.label()
+    );
+    esc(e.name, out);
+    for (k, v) in &e.fields {
+        out.push(',');
+        field(k, v, out);
+    }
+    out.push_str("}\n");
+}
+
+fn hist_line(socket: usize, label: &str, h: &LatencyHistogram, out: &mut String) {
+    let _ = write!(out, "{{\"type\":\"hist\",\"socket\":{socket},\"class\":");
+    esc(label, out);
+    let _ = write!(out, ",\"count\":{},\"mean_ns\":", h.count());
+    num(h.mean_ns(), out);
+    out.push_str(",\"buckets\":[");
+    for (i, b) in h.buckets().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{b}");
+    }
+    out.push_str("]}\n");
+}
+
+/// Renders a run's journal and merged metrics as self-describing JSONL:
+/// one `meta` line, one `event` line per retained event, one `hist` line
+/// per non-empty (socket, class) histogram of the merged run, and one
+/// `counters` line. This is the format `starnuma inspect` consumes.
+pub fn trace_jsonl(meta: &RunMeta, report: &ObsReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\"type\":\"meta\",");
+    meta_fields(meta, &mut out);
+    let _ = writeln!(
+        out,
+        ",\"events\":{},\"dropped_events\":{}}}",
+        report.events.len(),
+        report.dropped_events
+    );
+    for e in &report.events {
+        event_line(e, &mut out);
+    }
+    let merged = report.metrics.merged();
+    let labels = report.metrics.class_labels();
+    for (socket, sm) in merged.sockets.iter().enumerate() {
+        for (class, h) in sm.class_hist.iter().enumerate() {
+            if h.count() > 0 {
+                hist_line(socket, labels[class], h, &mut out);
+            }
+        }
+    }
+    out.push_str("{\"type\":\"counters\"");
+    for (k, v) in &merged.counters {
+        out.push(',');
+        esc(k, &mut out);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn frame_json(
+    frame: &MetricsFrame,
+    labels: [&'static str; crate::metrics::NUM_CLASSES],
+    out: &mut String,
+) {
+    let _ = write!(out, "{{\"phase\":{},\"sockets\":[", frame.phase);
+    for (si, sm) in frame.sockets.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut first = true;
+        for (ci, h) in sm.class_hist.iter().enumerate() {
+            if h.count() == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            esc(labels[ci], out);
+            let _ = write!(out, ":{{\"count\":{},\"mean_ns\":", h.count());
+            num(h.mean_ns(), out);
+            out.push_str(",\"buckets\":[");
+            for (i, b) in h.buckets().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+    }
+    out.push_str("],\"counters\":{");
+    for (i, (k, v)) in frame.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(k, out);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("}}");
+}
+
+/// Renders the full metrics registry (per-phase frames plus the merged
+/// whole-run frame) as one JSON object.
+pub fn metrics_json(meta: &RunMeta, registry: &MetricsRegistry) -> String {
+    let labels = registry.class_labels();
+    let mut out = String::new();
+    out.push_str("{\"meta\":{");
+    meta_fields(meta, &mut out);
+    out.push_str("},\"phases\":[");
+    for (i, frame) in registry.frames().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        frame_json(frame, labels, &mut out);
+    }
+    out.push_str("],\"merged\":");
+    frame_json(&registry.merged(), labels, &mut out);
+    out.push('}');
+    out
+}
+
+/// Renders the event journal in Chrome `trace_event` JSON (openable in
+/// `about://tracing` / Perfetto). Events become instant records whose
+/// timestamp is the monotonic sequence number (the model has no wall
+/// clock) and whose `tid` is the phase, so each phase renders as a track.
+pub fn chrome_trace_json(meta: &RunMeta, report: &ObsReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for e in &report.events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        esc(e.name, &mut out);
+        let _ = write!(
+            out,
+            ",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{",
+            e.category.label(),
+            e.seq,
+            e.phase
+        );
+        out.push_str("\"level\":");
+        esc(e.level.label(), &mut out);
+        for (k, v) in &e.fields {
+            out.push(',');
+            field(k, v, &mut out);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+    meta_fields(meta, &mut out);
+    out.push_str("}}");
+    out
+}
+
+/// A value parsed back from a flat JSON object line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum JsonValue {
+    /// A number (integers included).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array of numbers (histogram buckets).
+    Arr(Vec<f64>),
+}
+
+impl JsonValue {
+    /// The value as f64, if numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut s = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(s),
+                b'\\' => {
+                    let e = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            s.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if b < 0x80 {
+                        s.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        s.push_str(std::str::from_utf8(&self.bytes[start..end]).ok()?);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+}
+
+/// Parses one flat JSON object line (string keys; number, string, or
+/// number-array values — exactly what the exporters above emit). Nested
+/// objects and non-numeric arrays are rejected. Returns `None` on any
+/// syntax error.
+pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, JsonValue>> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    if !c.eat(b'{') {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    if c.eat(b'}') {
+        return Some(map);
+    }
+    loop {
+        let key = c.string()?;
+        if !c.eat(b':') {
+            return None;
+        }
+        let value = match c.peek()? {
+            b'"' => JsonValue::Str(c.string()?),
+            b'[' => {
+                c.eat(b'[');
+                let mut arr = Vec::new();
+                if !c.eat(b']') {
+                    loop {
+                        arr.push(c.number()?);
+                        if c.eat(b']') {
+                            break;
+                        }
+                        if !c.eat(b',') {
+                            return None;
+                        }
+                    }
+                }
+                JsonValue::Arr(arr)
+            }
+            _ => JsonValue::Num(c.number()?),
+        };
+        map.insert(key, value);
+        if c.eat(b'}') {
+            break;
+        }
+        if !c.eat(b',') {
+            return None;
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return None;
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{EventCategory, EventLevel};
+    use crate::metrics::NUM_CLASSES;
+    use crate::sink::ObsSink;
+
+    const LABELS: [&str; NUM_CLASSES] = ["local", "1hop", "2hop", "pool", "bts", "btp"];
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            workload: "bc-web".to_string(),
+            system: "starnuma-dyn".to_string(),
+            preset: "SC1".to_string(),
+            jobs: 4,
+            seed: 42,
+            version: "0.1.0".to_string(),
+        }
+    }
+
+    fn sample_report() -> ObsReport {
+        let mut sink = ObsSink::enabled(2, LABELS, 64);
+        sink.begin_phase(0);
+        sink.record_access(0, 1, 180.0);
+        sink.record_access(1, 3, 400.0);
+        sink.counter("dir.transactions", 12);
+        sink.event(
+            EventLevel::Info,
+            EventCategory::Migration,
+            "region_migrated",
+            || {
+                vec![
+                    ("region", FieldValue::U64(7)),
+                    ("dest", FieldValue::Str("pool".to_string())),
+                    ("frac", FieldValue::F64(0.25)),
+                ]
+            },
+        );
+        sink.end_phase();
+        sink.finish()
+    }
+
+    #[test]
+    fn trace_jsonl_round_trips_through_the_parser() {
+        let text = trace_jsonl(&meta(), &sample_report());
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + 1 event + 2 hists + counters
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            let obj = parse_flat_object(line).expect("every line parses");
+            assert!(obj.contains_key("type"));
+        }
+        let meta_obj = parse_flat_object(lines[0]).unwrap();
+        assert_eq!(meta_obj["type"].as_str(), Some("meta"));
+        assert_eq!(meta_obj["preset"].as_str(), Some("SC1"));
+        assert_eq!(meta_obj["jobs"].as_num(), Some(4.0));
+        let ev = parse_flat_object(lines[1]).unwrap();
+        assert_eq!(ev["name"].as_str(), Some("region_migrated"));
+        assert_eq!(ev["dest"].as_str(), Some("pool"));
+        assert_eq!(ev["frac"].as_num(), Some(0.25));
+        let hist = parse_flat_object(lines[2]).unwrap();
+        assert_eq!(hist["class"].as_str(), Some("1hop"));
+        match &hist["buckets"] {
+            JsonValue::Arr(b) => {
+                assert_eq!(b.len(), crate::metrics::HIST_BUCKETS);
+                assert_eq!(b.iter().sum::<f64>(), 1.0);
+            }
+            other => panic!("buckets not an array: {other:?}"),
+        }
+        let counters = parse_flat_object(lines[4]).unwrap();
+        assert_eq!(counters["dir.transactions"].as_num(), Some(12.0));
+    }
+
+    #[test]
+    fn metrics_json_contains_phases_and_merged() {
+        let text = metrics_json(&meta(), &sample_report().metrics);
+        assert!(text.starts_with("{\"meta\":{"));
+        assert!(text.contains("\"phases\":["));
+        assert!(text.contains("\"merged\":"));
+        assert!(text.contains("\"1hop\":{\"count\":1"));
+        assert!(text.contains("\"dir.transactions\":12"));
+    }
+
+    #[test]
+    fn chrome_trace_has_trace_event_shape() {
+        let text = chrome_trace_json(&meta(), &sample_report());
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"ts\":0"));
+        assert!(text.contains("\"tid\":0"));
+        assert!(text.contains("\"name\":\"region_migrated\""));
+        assert!(text.ends_with("}}"));
+    }
+
+    #[test]
+    fn escaping_survives_round_trip() {
+        let mut out = String::new();
+        esc("a\"b\\c\nd\te\u{1}", &mut out);
+        let line = format!("{{\"k\":{out}}}");
+        let obj = parse_flat_object(&line).unwrap();
+        assert_eq!(obj["k"].as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_flat_object("not json").is_none());
+        assert!(parse_flat_object("{\"a\":}").is_none());
+        assert!(parse_flat_object("{\"a\":1} trailing").is_none());
+        assert!(parse_flat_object("{\"a\":[1,]}").is_none());
+        assert_eq!(parse_flat_object("{}").map(|m| m.len()), Some(0));
+        assert_eq!(parse_flat_object("{ }").map(|m| m.len()), Some(0));
+    }
+
+    #[test]
+    fn numbers_render_integers_without_fraction() {
+        let mut s = String::new();
+        num(3.0, &mut s);
+        assert_eq!(s, "3");
+        s.clear();
+        num(0.25, &mut s);
+        assert_eq!(s, "0.25");
+    }
+}

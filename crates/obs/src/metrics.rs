@@ -1,0 +1,331 @@
+//! The metrics registry: monotonic counters and log2 latency histograms,
+//! keyed by socket, phase, and access class.
+//!
+//! Recording is allocation-free on the hot path (fixed bucket arrays); the
+//! only allocations happen at phase barriers, when counter maps are filled
+//! and frames are pushed into the registry. Everything derives `PartialEq`
+//! so determinism gates can assert two runs produced bit-identical metrics.
+
+use std::collections::BTreeMap;
+
+/// Number of access classes tracked per socket (the Fig. 8c order of
+/// `AccessClass::ALL`; labels are supplied by the simulator at sink
+/// construction so this crate stays independent of the topology model).
+pub const NUM_CLASSES: usize = 6;
+
+/// Number of log2 buckets per histogram: bucket `i ≥ 1` covers latencies in
+/// `[2^(i-1), 2^i)` ns, bucket 0 holds zero. 32 buckets reach ~2 s, far
+/// beyond any simulated access latency.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A fixed-bucket log2 latency histogram over nanoseconds.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum_ns: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_ns: 0.0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// The bucket index a latency of `ns` falls into.
+    pub fn bucket_of(ns: f64) -> usize {
+        let v = if ns.is_finite() && ns > 0.0 {
+            ns as u64
+        } else {
+            0
+        };
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive lower edge of bucket `i` in ns.
+    pub fn bucket_floor_ns(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, ns: f64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for i in 0..HIST_BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded latencies in ns.
+    pub fn sum_ns(&self) -> f64 {
+        self.sum_ns
+    }
+
+    /// Mean latency in ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+}
+
+/// Per-socket metrics: one latency histogram per access class.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SocketMetrics {
+    /// Histograms in `AccessClass::ALL` order.
+    pub class_hist: [LatencyHistogram; NUM_CLASSES],
+}
+
+impl Default for SocketMetrics {
+    fn default() -> Self {
+        SocketMetrics {
+            class_hist: [LatencyHistogram::default(); NUM_CLASSES],
+        }
+    }
+}
+
+impl SocketMetrics {
+    /// Total samples across all classes.
+    pub fn total_count(&self) -> u64 {
+        self.class_hist.iter().map(LatencyHistogram::count).sum()
+    }
+
+    fn merge(&mut self, other: &SocketMetrics) {
+        for i in 0..NUM_CLASSES {
+            self.class_hist[i].merge(&other.class_hist[i]);
+        }
+    }
+}
+
+/// One phase's worth of metrics: per-socket histograms plus named counters.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MetricsFrame {
+    /// The phase this frame covers.
+    pub phase: u32,
+    /// Per-socket histogram banks, indexed by socket.
+    pub sockets: Vec<SocketMetrics>,
+    /// Named monotonic counters (per-phase deltas; keys are dotted paths
+    /// like `dir.transactions`). `BTreeMap` keeps export order stable.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl MetricsFrame {
+    /// An empty frame for `num_sockets` sockets.
+    pub fn new(phase: u32, num_sockets: usize) -> Self {
+        MetricsFrame {
+            phase,
+            sockets: vec![SocketMetrics::default(); num_sockets],
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Records one memory-access latency sample. Out-of-range socket or
+    /// class indices are ignored (the disabled sink has zero sockets).
+    #[inline]
+    pub fn record_access(&mut self, socket: usize, class: usize, ns: f64) {
+        if let Some(s) = self.sockets.get_mut(socket) {
+            if let Some(h) = s.class_hist.get_mut(class) {
+                h.record(ns);
+            }
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add_counter(&mut self, key: &str, delta: u64) {
+        if delta > 0 {
+            *self.counters.entry(key.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Folds another frame into this one (socket-wise histogram merge,
+    /// counter addition).
+    pub fn merge(&mut self, other: &MetricsFrame) {
+        if self.sockets.len() < other.sockets.len() {
+            self.sockets
+                .resize(other.sockets.len(), SocketMetrics::default());
+        }
+        for (dst, src) in self.sockets.iter_mut().zip(&other.sockets) {
+            dst.merge(src);
+        }
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Whether this frame recorded anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.sockets.iter().all(|s| s.total_count() == 0)
+    }
+}
+
+/// All frames of one run, pushed in phase order at phase barriers.
+///
+/// Each simulation run is single-threaded and owns its registry, so the
+/// frame sequence depends only on the run's configuration — merging at
+/// phase barriers is what makes `--jobs N` output bit-identical to
+/// sequential execution.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MetricsRegistry {
+    num_sockets: usize,
+    class_labels: [&'static str; NUM_CLASSES],
+    frames: Vec<MetricsFrame>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry for `num_sockets` sockets; `class_labels` name the
+    /// histogram columns in exports (the simulator passes
+    /// `AccessClass::ALL` labels).
+    pub fn new(num_sockets: usize, class_labels: [&'static str; NUM_CLASSES]) -> Self {
+        MetricsRegistry {
+            num_sockets,
+            class_labels,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Appends a completed phase frame.
+    pub fn push_frame(&mut self, frame: MetricsFrame) {
+        self.frames.push(frame);
+    }
+
+    /// The frames recorded so far, in phase order.
+    pub fn frames(&self) -> &[MetricsFrame] {
+        &self.frames
+    }
+
+    /// The access-class labels used in exports.
+    pub fn class_labels(&self) -> [&'static str; NUM_CLASSES] {
+        self.class_labels
+    }
+
+    /// The socket count this registry was sized for.
+    pub fn num_sockets(&self) -> usize {
+        self.num_sockets
+    }
+
+    /// Merges every frame into one whole-run frame (phase 0).
+    pub fn merged(&self) -> MetricsFrame {
+        let mut out = MetricsFrame::new(0, self.num_sockets);
+        for f in &self.frames {
+            out.merge(f);
+        }
+        out
+    }
+}
+
+/// A statistics source that can contribute named counters to a frame.
+///
+/// The substrate crates (`mem`, `cache`, `coherence`) implement this for
+/// their stats types so the simulator can pour per-phase deltas into the
+/// registry at phase barriers without knowing their field layouts.
+pub trait Observe {
+    /// Writes this source's counters into `frame`, prefixing every key
+    /// with `prefix` (e.g. `link.cxl.transfers`).
+    fn observe(&self, prefix: &str, frame: &mut MetricsFrame);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LABELS: [&str; NUM_CLASSES] = ["local", "1hop", "2hop", "pool", "bts", "btp"];
+
+    #[test]
+    fn bucket_edges_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(0.0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1.0), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1.9), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2.0), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3.0), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4.0), 3);
+        assert_eq!(LatencyHistogram::bucket_of(180.0), 8);
+        assert_eq!(LatencyHistogram::bucket_of(f64::INFINITY), 0);
+        assert_eq!(LatencyHistogram::bucket_of(-5.0), 0);
+        assert_eq!(LatencyHistogram::bucket_floor_ns(0), 0);
+        assert_eq!(LatencyHistogram::bucket_floor_ns(8), 128);
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = LatencyHistogram::default();
+        a.record(80.0);
+        a.record(360.0);
+        let mut b = LatencyHistogram::default();
+        b.record(180.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean_ns() - (80.0 + 360.0 + 180.0) / 3.0).abs() < 1e-9);
+        assert_eq!(a.buckets().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn frame_guards_out_of_range_indices() {
+        let mut f = MetricsFrame::new(0, 2);
+        f.record_access(0, 0, 80.0);
+        f.record_access(7, 0, 80.0); // no such socket: ignored
+        f.record_access(0, 99, 80.0); // no such class: ignored
+        assert_eq!(f.sockets[0].total_count(), 1);
+    }
+
+    #[test]
+    fn registry_merges_frames_deterministically() {
+        let mut reg = MetricsRegistry::new(2, LABELS);
+        let mut f0 = MetricsFrame::new(0, 2);
+        f0.record_access(0, 1, 100.0);
+        f0.add_counter("dir.transactions", 5);
+        let mut f1 = MetricsFrame::new(1, 2);
+        f1.record_access(0, 1, 300.0);
+        f1.record_access(1, 0, 80.0);
+        f1.add_counter("dir.transactions", 7);
+        reg.push_frame(f0);
+        reg.push_frame(f1);
+        let m = reg.merged();
+        assert_eq!(m.sockets[0].class_hist[1].count(), 2);
+        assert_eq!(m.sockets[1].class_hist[0].count(), 1);
+        assert_eq!(m.counters["dir.transactions"], 12);
+        // Bit-identical under re-merge.
+        assert_eq!(reg.merged(), m);
+    }
+
+    #[test]
+    fn zero_counter_deltas_are_not_stored() {
+        let mut f = MetricsFrame::new(0, 1);
+        f.add_counter("x", 0);
+        assert!(f.is_empty());
+        f.add_counter("x", 2);
+        assert!(!f.is_empty());
+    }
+}

@@ -140,7 +140,10 @@ impl RunConfig {
             ));
         }
         if self.phases == 0 || self.instructions_per_phase == 0 {
-            out.push(Diagnostic::warning(
+            // An error (not a warning) since PR 4: an empty run produces no
+            // phase statistics, so `RunResult::from_phases` has nothing to
+            // aggregate (SN107) — reject the shape before simulating.
+            out.push(Diagnostic::error(
                 "SN106",
                 "RunConfig.phases",
                 format!(
@@ -179,6 +182,18 @@ mod tests {
         assert_eq!(c.migration, MigrationMode::Threshold { t0: false });
         assert_eq!(c.modality, Modality::AllDetailed);
         assert!((c.pool_capacity_frac - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_shape_is_an_error() {
+        let c = RunConfig {
+            phases: 0,
+            ..RunConfig::default()
+        };
+        assert!(c
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SN106" && d.is_error()));
     }
 
     #[test]

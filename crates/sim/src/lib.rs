@@ -56,3 +56,14 @@ pub use config::{MigrationMode, Modality, RunConfig};
 pub use pipeline::Runner;
 pub use stats::{PhaseStats, RunResult};
 pub use timing::TimingSim;
+
+/// The [`starnuma_topology::AccessClass::ALL`] labels in Fig. 8c order —
+/// the column names the observability layer keys its per-socket latency
+/// histograms by.
+pub fn access_class_labels() -> [&'static str; 6] {
+    let mut out = [""; 6];
+    for (i, c) in starnuma_topology::AccessClass::ALL.iter().enumerate() {
+        out[i] = c.label();
+    }
+    out
+}

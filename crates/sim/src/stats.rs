@@ -2,6 +2,7 @@
 
 use starnuma_coherence::DirectoryStats;
 use starnuma_topology::AccessClass;
+use starnuma_types::{Diagnostic, StarNumaError};
 
 /// Statistics collected over one simulated phase.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -115,12 +116,28 @@ pub struct RunResult {
 
 impl RunResult {
     /// Builds an aggregate from per-phase stats and migration totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StarNumaError::InvalidModel`] with an `SN107` diagnostic
+    /// when `phases` is empty: an empty run has no accesses or cycles, so
+    /// every derived ratio (`amat_ns`, `ipc`, `mpki`) would silently
+    /// degenerate to zero and masquerade as a measurement.
     pub fn from_phases(
         phases: Vec<PhaseStats>,
         pages_migrated: u64,
         pages_to_pool: u64,
         directory: DirectoryStats,
-    ) -> Self {
+    ) -> Result<Self, StarNumaError> {
+        if phases.is_empty() {
+            return Err(StarNumaError::InvalidModel(vec![Diagnostic::error(
+                "SN107",
+                "RunResult::from_phases",
+                "run produced no phase statistics; AMAT/IPC/MPKI are undefined",
+                "configure at least one measured phase (phases >= 1 with nonzero \
+                 instructions_per_phase)",
+            )]));
+        }
         let mut agg = PhaseStats::default();
         for p in &phases {
             agg.merge(p);
@@ -151,7 +168,7 @@ impl RunResult {
         } else {
             accesses as f64 * 1000.0 / agg.instructions as f64
         };
-        RunResult {
+        Ok(RunResult {
             phases,
             ipc,
             class_mean_ns,
@@ -164,7 +181,7 @@ impl RunResult {
             directory,
             mpki,
             replication: None,
-        }
+        })
     }
 
     /// Fraction of accesses in a given class.
@@ -206,7 +223,7 @@ mod tests {
         let p = phase([10, 0, 0, 0, 0, 0], 800.0, 1200.0);
         assert_eq!(p.amat_ns(), 120.0);
         assert_eq!(p.unloaded_amat_ns(), 80.0);
-        let r = RunResult::from_phases(vec![p], 0, 0, DirectoryStats::default());
+        let r = RunResult::from_phases(vec![p], 0, 0, DirectoryStats::default()).unwrap();
         assert_eq!(r.amat_ns, 120.0);
         assert_eq!(r.contention_ns, 40.0);
         assert_eq!(r.class_fracs[0], 1.0);
@@ -227,7 +244,7 @@ mod tests {
         let p = phase([0; 6], 0.0, 0.0);
         // 1000 instructions over mean 1000 cycles across 4 cores: the four
         // cores each retired 250 instructions in 1000 cycles → IPC 0.25.
-        let r = RunResult::from_phases(vec![p], 0, 0, DirectoryStats::default());
+        let r = RunResult::from_phases(vec![p], 0, 0, DirectoryStats::default()).unwrap();
         assert!((r.ipc - 0.25).abs() < 1e-12);
     }
 
@@ -238,25 +255,33 @@ mod tests {
             200,
             160,
             DirectoryStats::default(),
-        );
+        )
+        .unwrap();
         assert!((r.pool_migration_frac() - 0.8).abs() < 1e-12);
-        let none = RunResult::from_phases(vec![], 0, 0, DirectoryStats::default());
+        let none = RunResult::from_phases(
+            vec![phase([1, 0, 0, 0, 0, 0], 80.0, 80.0)],
+            0,
+            0,
+            DirectoryStats::default(),
+        )
+        .unwrap();
         assert_eq!(none.pool_migration_frac(), 0.0);
     }
 
     #[test]
-    fn empty_run_is_all_zero() {
-        let r = RunResult::from_phases(vec![], 0, 0, DirectoryStats::default());
-        assert_eq!(r.ipc, 0.0);
-        assert_eq!(r.amat_ns, 0.0);
-        assert_eq!(r.mpki, 0.0);
-        assert_eq!(r.class_fracs, [0.0; 6]);
+    fn empty_phase_list_is_rejected_with_sn107() {
+        let err = RunResult::from_phases(vec![], 0, 0, DirectoryStats::default())
+            .expect_err("an empty run must not aggregate");
+        let diags = err.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SN107");
+        assert!(err.to_string().contains("SN107"));
     }
 
     #[test]
     fn class_frac_lookup() {
         let p = phase([3, 1, 0, 0, 0, 0], 0.0, 0.0);
-        let r = RunResult::from_phases(vec![p], 0, 0, DirectoryStats::default());
+        let r = RunResult::from_phases(vec![p], 0, 0, DirectoryStats::default()).unwrap();
         assert!((r.class_frac(AccessClass::Local) - 0.75).abs() < 1e-12);
         assert!((r.class_frac(AccessClass::OneHop) - 0.25).abs() < 1e-12);
         assert_eq!(r.class_frac(AccessClass::BtPool), 0.0);

@@ -19,6 +19,7 @@ use starnuma_cache::{CacheConfig, CacheOutcome, SetAssocCache};
 use starnuma_coherence::{Directory, TransferKind};
 use starnuma_mem::{DramTimings, FifoServer, MemoryModule};
 use starnuma_migration::{MigrationCosts, PageMap, PageMove, ReplicaMap};
+use starnuma_obs::ObsSink;
 use starnuma_topology::{AccessClass, Network};
 use starnuma_trace::PhaseTrace;
 use starnuma_types::{Cycles, GbPerSec, Location, MemAccess, PageId, SocketId};
@@ -111,6 +112,19 @@ impl TimingSim {
     /// Coherence directory statistics accumulated so far.
     pub fn directory_stats(&self) -> starnuma_coherence::DirectoryStats {
         self.dir.stats()
+    }
+
+    /// Aggregated LLC statistics across all sockets (cumulative since
+    /// construction; caches persist across phases like real hardware).
+    pub fn llc_stats(&self) -> starnuma_cache::CacheStats {
+        let mut agg = starnuma_cache::CacheStats::default();
+        for llc in &self.llcs {
+            let st = llc.stats();
+            agg.hits += st.hits;
+            agg.misses += st.misses;
+            agg.writebacks += st.writebacks;
+        }
+        agg
     }
 
     /// Aggregated per-link-kind server statistics since the last
@@ -214,7 +228,38 @@ impl TimingSim {
         instructions_per_core: u64,
         modality: Modality,
         collect: bool,
+        replicas: Option<&mut ReplicaMap>,
+    ) -> PhaseStats {
+        self.run_phase_observed(
+            trace,
+            map,
+            modeled_moves,
+            cpi,
+            mlp,
+            instructions_per_core,
+            modality,
+            collect,
+            replicas,
+            &mut ObsSink::disabled(),
+        )
+    }
+
+    /// [`TimingSim::run_phase_with_replicas`] recording per-access latency
+    /// samples into `obs` (one histogram per socket × access class). The
+    /// disabled sink costs one branch per collected access.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_phase_observed(
+        &mut self,
+        trace: &PhaseTrace,
+        map: &mut PageMap,
+        modeled_moves: &[PageMove],
+        cpi: f64,
+        mlp: usize,
+        instructions_per_core: u64,
+        modality: Modality,
+        collect: bool,
         mut replicas: Option<&mut ReplicaMap>,
+        obs: &mut ObsSink,
     ) -> PhaseStats {
         let mut stats = PhaseStats::default();
         // --- Schedule the modeled migrations (serialized on the initiator,
@@ -357,6 +402,11 @@ impl TimingSim {
                     let measured_ns = measured_cycles as f64 / starnuma_types::CORE_GHZ;
                     stats.measured_ns_sum += measured_ns;
                     stats.class_measured_ns[idx] += measured_ns;
+                    obs.record_access(
+                        a.core.socket(self.cores_per_socket).index() as usize,
+                        idx,
+                        measured_ns,
+                    );
                 }
             }
             if !core.light && !hit {
