@@ -355,6 +355,21 @@ mod tests {
         assert_eq!(codes, vec!["SN003", "SN002"]);
     }
 
+    /// The in-repo deterministic map (PR 5) must pass SN003 by
+    /// construction while std hash collections keep being flagged — the
+    /// hot paths are expected to hold `DetMap`s.
+    #[test]
+    fn detmap_is_accepted_where_hashmap_is_flagged() {
+        let clean = "use starnuma_types::DetMap;\nuse starnuma_types::BlockAddr;\npub struct Directory {\n    entries: DetMap<BlockAddr, u32>,\n}\n";
+        assert!(lint_source("f.rs", clean, false).is_empty());
+        let dirty = "pub struct Directory {\n    entries: std::collections::HashMap<u64, u32>,\n    sharers: std::collections::HashSet<u64>,\n}\n";
+        let codes: Vec<_> = lint_source("f.rs", dirty, false)
+            .into_iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(codes, vec!["SN003", "SN003"]);
+    }
+
     #[test]
     fn allow_marker_suppresses_same_and_next_line() {
         let src = "fn f(x: Option<u32>) -> u32 {\n    // audit:allow(SN001)\n    let a = x.unwrap();\n    let b = x.unwrap(); // audit:allow(SN001)\n    a + b\n}\n";

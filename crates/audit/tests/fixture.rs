@@ -31,10 +31,10 @@ fn fixture_violations_are_found_with_exact_codes() {
 #[test]
 fn allow_marker_and_test_module_are_exempt() {
     let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
-    // The allow-marked unwrap (line 18) and the test-module unwrap (line 30)
+    // The allow-marked unwrap (line 24) and the test-module unwrap (line 36)
     // must not be reported.
-    assert!(!findings.iter().any(|d| d.location.ends_with(":18")));
-    assert!(!findings.iter().any(|d| d.location.ends_with(":30")));
+    assert!(!findings.iter().any(|d| d.location.ends_with(":24")));
+    assert!(!findings.iter().any(|d| d.location.ends_with(":36")));
 }
 
 #[test]

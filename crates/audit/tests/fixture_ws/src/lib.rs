@@ -13,6 +13,12 @@ pub fn unordered() -> std::collections::HashMap<u32, u32> {
     std::collections::HashMap::new()
 }
 
+// The deterministic in-repo map must NOT trip SN003 ("DetMap" is not a
+// std hash collection) — fixture coverage for the PR-5 index swap.
+pub struct DeterministicIndexUser {
+    pub entries: starnuma_types::DetMap<u64, u32>,
+}
+
 pub fn suppressed(v: Option<u32>) -> u32 {
     // audit:allow(SN001) fixture: the marker must silence the next line.
     v.unwrap()

@@ -17,9 +17,7 @@
 //! property that every counted access is eventually flushed, which holds
 //! under any replacement order (see the property tests).
 
-use std::collections::BTreeMap;
-
-use starnuma_types::PageId;
+use starnuma_types::{DetMap, PageId};
 
 /// Configuration of a [`Tlb`] and its counter annex.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -117,7 +115,7 @@ struct Slot {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     config: TlbConfig,
-    index: BTreeMap<PageId, usize>,
+    index: DetMap<PageId, usize>,
     slots: Vec<Slot>,
     hand: usize,
     stats: TlbStats,
@@ -132,7 +130,7 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Self {
         assert!(config.entries > 0, "TLB needs at least one entry");
         Tlb {
-            index: BTreeMap::new(),
+            index: DetMap::new(),
             slots: Vec::with_capacity(config.entries),
             config,
             hand: 0,

@@ -36,10 +36,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::collections::BTreeMap;
-
 use starnuma_obs::{MetricsFrame, Observe};
-use starnuma_types::{BlockAddr, Location, SocketId};
+use starnuma_types::{BlockAddr, DetMap, Location, SocketId};
 
 /// How the requested data was supplied.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -115,7 +113,7 @@ struct Entry {
 #[derive(Clone, Debug)]
 pub struct Directory {
     num_sockets: usize,
-    entries: BTreeMap<BlockAddr, Entry>,
+    entries: DetMap<BlockAddr, Entry>,
     stats: DirectoryStats,
 }
 
@@ -133,7 +131,7 @@ impl Directory {
         );
         Directory {
             num_sockets,
-            entries: BTreeMap::new(),
+            entries: DetMap::new(),
             stats: DirectoryStats::default(),
         }
     }
@@ -174,7 +172,7 @@ impl Directory {
         if home.is_pool() {
             self.stats.pool_transactions += 1;
         }
-        let entry = self.entries.entry(block).or_default();
+        let entry = self.entries.entry_or_insert_with(block, Entry::default);
         let req_bit = Self::bit(requester);
 
         // Determine data source.

@@ -355,7 +355,11 @@ impl ThresholdPolicy {
                     },
                 );
             }
-            self.region_migration_count[region.index() as usize] += 1;
+            // Saturate: a long sweep can migrate one region more than
+            // u32::MAX times; wrapping would panic in debug builds and
+            // silently reset the ping-pong guard in release.
+            let count = &mut self.region_migration_count[region.index() as usize];
+            *count = count.saturating_add(1);
         }
         self.pages_migrated += n_migrated_pages;
         self.adapt_thresholds(candidates, obs);
@@ -619,6 +623,35 @@ mod tests {
         );
         // Hot pool residents were not evicted.
         assert!(plan.moves.iter().all(|mv| !mv.from.is_pool()));
+    }
+
+    /// Regression (PR 5): the per-region migration counter used unchecked
+    /// `+= 1`; with a saturated `u32` counter and enough elapsed phases for
+    /// the ping-pong guard to readmit the region, the next migration
+    /// overflowed — a panic in debug builds and a silent counter wrap (which
+    /// resets the ping-pong guard) in release. The count must saturate.
+    #[test]
+    fn migration_count_saturates_at_u32_max() {
+        let mut meta = MetadataRegion::new(4, 16, 16);
+        record_sharers(&mut meta, 0, 16, 50); // hot, wants pool
+        let mut m = map();
+        let mut p = ThresholdPolicy::new(config(), 4, true);
+        // A region that already migrated u32::MAX times, deep into a sweep
+        // long enough (phase > 4·u32::MAX) that ping-pong suppression
+        // (count·4 > phase) no longer blocks it.
+        p.region_migration_count[0] = u32::MAX;
+        p.phase = (u64::from(u32::MAX) + 1) * 4;
+        assert!(!p.is_ping_ponging(RegionId::new(0)));
+        let plan = p.decide(&meta, &mut m, &mut rng());
+        assert_eq!(plan.total(), 128, "region must still migrate");
+        assert_eq!(
+            p.region_migration_count[0],
+            u32::MAX,
+            "count saturates instead of wrapping"
+        );
+        // Saturated counter keeps suppressing at realistic phase numbers.
+        p.phase = 1000;
+        assert!(p.is_ping_ponging(RegionId::new(0)));
     }
 
     #[test]

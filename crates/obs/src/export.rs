@@ -328,6 +328,11 @@ impl<'a> Cursor<'a> {
                         b'n' => s.push('\n'),
                         b'r' => s.push('\r'),
                         b't' => s.push('\t'),
+                        // Never emitted by our escaper (control chars go out
+                        // as \u00XX), but legal JSON: traces rewritten by
+                        // external tools must still read back.
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
                         b'u' => {
                             let hex = self.bytes.get(self.pos..self.pos + 4)?;
                             self.pos += 4;
@@ -534,6 +539,41 @@ mod tests {
         let line = format!("{{\"k\":{out}}}");
         let obj = parse_flat_object(&line).unwrap();
         assert_eq!(obj["k"].as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    /// Regression (PR 5): every control char below 0x20 must leave the
+    /// escaper as `\u00XX` (not raw bytes, which would be invalid JSON and
+    /// break `starnuma inspect` and Perfetto import) and round-trip through
+    /// the parser — exercised end to end with a backspace-bearing workload
+    /// name in a real trace.
+    #[test]
+    fn control_chars_in_meta_strings_round_trip() {
+        for c in 0u32..0x20 {
+            let Some(ch) = char::from_u32(c) else {
+                continue;
+            };
+            let raw = format!("x{ch}y");
+            let mut out = String::new();
+            esc(&raw, &mut out);
+            // The rendered escape sequence must itself be control-char free.
+            assert!(
+                !out.chars().any(|c| (c as u32) < 0x20),
+                "raw control char {c:#x} leaked into JSON: {out:?}"
+            );
+            let obj = parse_flat_object(&format!("{{\"k\":{out}}}")).expect("line parses");
+            assert_eq!(obj["k"].as_str(), Some(raw.as_str()), "char {c:#x}");
+        }
+
+        // End to end: a workload name with an embedded backspace.
+        let mut m = meta();
+        m.workload = "bc\u{8}web".to_string();
+        let text = trace_jsonl(&m, &sample_report());
+        let meta_obj = parse_flat_object(text.lines().next().expect("meta line"))
+            .expect("meta line with control char parses");
+        assert_eq!(meta_obj["workload"].as_str(), Some("bc\u{8}web"));
+        // Standard short escapes from external tools read back too.
+        let obj = parse_flat_object("{\"k\":\"a\\bz\\ff\"}").expect("short escapes");
+        assert_eq!(obj["k"].as_str(), Some("a\u{8}z\u{c}f"));
     }
 
     #[test]

@@ -61,11 +61,19 @@ impl LatencyHistogram {
     }
 
     /// Records one latency sample.
+    ///
+    /// Non-finite or negative samples are clamped to 0 for the sum as well
+    /// as for bucketing: a single NaN would otherwise poison `sum_ns` (and
+    /// thus `mean_ns` and every merged export) permanently, and a negative
+    /// sample would silently skew the mean downward while landing in
+    /// bucket 0 like a zero.
     #[inline]
     pub fn record(&mut self, ns: f64) {
         self.buckets[Self::bucket_of(ns)] += 1;
         self.count += 1;
-        self.sum_ns += ns;
+        if ns.is_finite() && ns > 0.0 {
+            self.sum_ns += ns;
+        }
     }
 
     /// Adds another histogram's samples into this one.
@@ -262,6 +270,33 @@ mod tests {
     use super::*;
 
     const LABELS: [&str; NUM_CLASSES] = ["local", "1hop", "2hop", "pool", "bts", "btp"];
+
+    /// Regression (PR 5): a NaN/-1.0/inf sample used to be added raw to
+    /// `sum_ns`, permanently poisoning `mean_ns` and every merge downstream.
+    /// Pathological samples must count (so the anomaly is visible in bucket
+    /// 0) but contribute 0 to the sum.
+    #[test]
+    fn pathological_samples_do_not_poison_the_mean() {
+        let mut h = LatencyHistogram::default();
+        h.record(100.0);
+        h.record(f64::NAN);
+        h.record(-1.0);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 100.0);
+        assert_eq!(h.mean_ns(), 20.0);
+        assert!(h.mean_ns().is_finite());
+        // The four clamped samples are all visible in bucket 0.
+        assert_eq!(h.buckets()[0], 4);
+
+        // Merging stays finite too (a poisoned shard used to spread NaN).
+        let mut other = LatencyHistogram::default();
+        other.record(f64::NAN);
+        h.merge(&other);
+        assert!(h.sum_ns().is_finite());
+        assert_eq!(h.count(), 6);
+    }
 
     #[test]
     fn bucket_edges_are_log2() {

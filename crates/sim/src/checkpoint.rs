@@ -24,6 +24,14 @@ use starnuma_types::{Location, PageId, SocketId};
 const MAGIC: &[u8; 4] = b"SNCK";
 const VERSION: u32 = 1;
 const POOL_TAG: u16 = 0xFFFF;
+/// Upper bound on `Vec` capacity taken on faith from a header length field
+/// (64 Ki entries ≈ 1 MiB of `PageMove`s); larger vectors grow as data
+/// actually arrives.
+const PREALLOC_CAP: u64 = 1 << 16;
+/// Sanity bound on the plan size: a phase plan never moves any page more
+/// than a handful of times, so `move_count` beyond this multiple of the
+/// footprint indicates corruption.
+const MAX_MOVES_PER_PAGE: u64 = 8;
 
 /// One step-B checkpoint: the phase-start placement plus the phase's
 /// migration plan.
@@ -101,10 +109,15 @@ impl Checkpoint {
         if footprint > 1 << 32 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "implausible footprint",
+                format!("implausible footprint {footprint} pages"),
             ));
         }
-        let mut locations = Vec::with_capacity(footprint as usize);
+        // Never pre-allocate from a length field alone: a corrupt header
+        // claiming 2^32 pages would demand gigabytes before the first body
+        // byte is validated. Capacity is capped and the vector grows only
+        // as actual input arrives, so a truncated file fails after reading
+        // at most `PREALLOC_CAP` entries' worth of bytes.
+        let mut locations = Vec::with_capacity(footprint.min(PREALLOC_CAP) as usize);
         for _ in 0..footprint {
             locations.push(decode_location(read_u16(&mut r)?));
         }
@@ -116,12 +129,24 @@ impl Checkpoint {
             ));
         }
         let map = PageMap::from_fn(footprint, pool_capacity, |p| locations[p.pfn() as usize]);
-        let move_count = read_u64(&mut r)? as usize;
-        let mut moves = Vec::with_capacity(move_count.min(1 << 24));
+        let move_count = read_u64(&mut r)?;
+        if move_count > footprint.max(1) * MAX_MOVES_PER_PAGE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible move count {move_count} for {footprint} pages"),
+            ));
+        }
+        let mut moves = Vec::with_capacity(move_count.min(PREALLOC_CAP) as usize);
         for _ in 0..move_count {
             let page = PageId::new(read_u64(&mut r)?);
             let from = decode_location(read_u16(&mut r)?);
             let to = decode_location(read_u16(&mut r)?);
+            if page.pfn() >= footprint {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("move references page {} outside footprint", page.pfn()),
+                ));
+            }
             moves.push(PageMove { page, from, to });
         }
         Ok(Checkpoint {
@@ -208,6 +233,86 @@ mod tests {
         ck.write(&mut buf).expect("write to Vec");
         buf.truncate(buf.len() / 2);
         assert!(Checkpoint::read(&buf[..]).is_err());
+    }
+
+    fn header(pool_capacity: u64, footprint: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SNCK");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&pool_capacity.to_le_bytes());
+        buf.extend_from_slice(&footprint.to_le_bytes());
+        buf
+    }
+
+    /// Regression (PR 5): `read` used to `Vec::with_capacity(footprint)`
+    /// straight from the header — a corrupt file claiming 2^32 pages
+    /// demanded a 16 GB allocation before any body byte was validated.
+    /// Length fields must be bounded against actual input.
+    #[test]
+    fn huge_claimed_footprint_with_empty_body_fails_fast() {
+        // Largest footprint the plausibility check admits, but zero body
+        // bytes: must fail with a read error, not allocate gigabytes.
+        let buf = header(1 << 20, 1 << 32);
+        let err = Checkpoint::read(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // Beyond the plausibility bound: structured InvalidData.
+        let buf = header(1 << 20, (1 << 32) + 1);
+        let err = Checkpoint::read(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("footprint"));
+    }
+
+    #[test]
+    fn implausible_move_count_rejected() {
+        let mut buf = header(8, 4);
+        for _ in 0..4 {
+            buf.extend_from_slice(&0u16.to_le_bytes());
+        }
+        // Claims far more moves than 8 per page of footprint.
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = Checkpoint::read(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("move count"));
+    }
+
+    #[test]
+    fn move_outside_footprint_rejected() {
+        let mut buf = header(8, 4);
+        for _ in 0..4 {
+            buf.extend_from_slice(&0u16.to_le_bytes());
+        }
+        buf.extend_from_slice(&1u64.to_le_bytes()); // one move …
+        buf.extend_from_slice(&99u64.to_le_bytes()); // … of page 99 ∉ 0..4
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0xFFFFu16.to_le_bytes());
+        let err = Checkpoint::read(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("outside footprint"));
+    }
+
+    /// Fuzz-ish: every strict prefix of a valid checkpoint must error
+    /// (never panic, hang, or return Ok), and bit-flips in the length
+    /// fields must not cause unbounded allocation.
+    #[test]
+    fn every_truncation_prefix_errors_cleanly() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write(&mut buf).expect("write to Vec");
+        for cut in 0..buf.len() {
+            assert!(
+                Checkpoint::read(&buf[..cut]).is_err(),
+                "prefix of {cut}/{} bytes unexpectedly accepted",
+                buf.len()
+            );
+        }
+        // Flip each byte of the footprint field; accept any outcome but a
+        // crash/OOM — the reader must stay bounded by the body it can read.
+        for byte in 12..20 {
+            let mut corrupt = buf.clone();
+            corrupt[byte] ^= 0xFF;
+            let _ = Checkpoint::read(&corrupt[..]);
+        }
     }
 
     #[test]

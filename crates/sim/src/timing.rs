@@ -13,7 +13,7 @@
 //! analytic unloaded latency plus that delay (the Fig. 8b decomposition).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use starnuma_cache::{CacheConfig, CacheOutcome, SetAssocCache};
 use starnuma_coherence::{Directory, TransferKind};
@@ -22,7 +22,7 @@ use starnuma_migration::{MigrationCosts, PageMap, PageMove, ReplicaMap};
 use starnuma_obs::ObsSink;
 use starnuma_topology::{AccessClass, Network};
 use starnuma_trace::PhaseTrace;
-use starnuma_types::{Cycles, GbPerSec, Location, MemAccess, PageId, SocketId};
+use starnuma_types::{Cycles, DetMap, GbPerSec, Location, MemAccess, PageId, SocketId};
 
 use crate::config::Modality;
 use crate::stats::PhaseStats;
@@ -271,7 +271,7 @@ impl TimingSim {
             done: u64,
             from: Location,
         }
-        let mut in_flight: BTreeMap<PageId, InFlight> = BTreeMap::new();
+        let mut in_flight: DetMap<PageId, InFlight> = DetMap::new();
         let mut t_mig = 0u64;
         for mv in modeled_moves {
             let start = t_mig;

@@ -24,6 +24,7 @@ mod access;
 mod diag;
 mod error;
 mod ids;
+mod index;
 mod rng;
 mod units;
 
@@ -31,6 +32,7 @@ pub use access::{AccessType, MemAccess, RwMix};
 pub use diag::{json_escape, Diagnostic, Severity};
 pub use error::{ConfigError, StarNumaError};
 pub use ids::{BlockAddr, ChassisId, CoreId, Location, PageId, PhysAddr, RegionId, SocketId};
+pub use index::{DetKey, DetMap};
 pub use rng::{SampleRange, SimRng};
 pub use units::{Bytes, Cycles, GbPerSec, Nanos, CORE_GHZ};
 
