@@ -8,8 +8,10 @@
 //!   - **SN001** — no `unwrap()` / `expect()` / `panic!` in non-test
 //!     library code (bad configs must surface as typed errors, not mid-run
 //!     aborts);
-//!   - **SN002** — no wall-clock reads (`Instant::now` / `SystemTime`) in
-//!     simulation crates (simulated time only: determinism);
+//!   - **SN002** — no wall-clock types (bare `Instant` / `SystemTime`,
+//!     matched on identifier boundaries) in simulation crates — simulated
+//!     time only; the `starnuma-prof` clock internals are the allow-listed
+//!     exception;
 //!   - **SN003** — no `HashMap` / `HashSet` in non-test code (iteration
 //!     order leaks into stats; use `BTreeMap` / `BTreeSet` or sorted
 //!     drains);

@@ -9,6 +9,10 @@ pub fn timed() -> std::time::Instant {
     std::time::Instant::now()
 }
 
+pub fn stamped() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
 pub fn unordered() -> std::collections::HashMap<u32, u32> {
     std::collections::HashMap::new()
 }
@@ -17,6 +21,19 @@ pub fn unordered() -> std::collections::HashMap<u32, u32> {
 // std hash collection) — fixture coverage for the PR-5 index swap.
 pub struct DeterministicIndexUser {
     pub entries: starnuma_types::DetMap<u64, u32>,
+}
+
+// The ProfClock shape: wall-clock internals carrying their own allow
+// markers must stay clean under the identifier-boundary SN002 — and
+// identifiers that merely contain the type name must not fire at all.
+pub struct FixtureClock {
+    at: std::time::Instant, // audit:allow(SN002) fixture: clock internals
+}
+
+pub struct InstantLike;
+
+pub fn instant_adjacent(x: InstantLike) -> InstantLike {
+    x
 }
 
 pub fn suppressed(v: Option<u32>) -> u32 {

@@ -304,4 +304,38 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // Trajectory: the same numbers, flattened to dotted keys, appended to
+    // the schema-versioned history file that `starnuma bench-diff` reads.
+    let mut flat = Vec::new();
+    flatten("", &doc, &mut flat);
+    flat.retain(|(k, _)| !k.starts_with("meta."));
+    starnuma_bench::append_history("hotpath", smoke, &flat);
+}
+
+/// Flattens every numeric leaf of a JSON document into `prefix.key` pairs
+/// (array elements use their index), producing the flat shape bench
+/// history entries require.
+fn flatten(prefix: &str, j: &Json, out: &mut Vec<(String, f64)>) {
+    let join = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match j {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                flatten(&join(k), v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(&join(&i.to_string()), v, out);
+            }
+        }
+        _ => {}
+    }
 }

@@ -127,6 +127,36 @@ impl Lab {
     }
 }
 
+/// Appends one schema-versioned, **flat** JSON entry to the bench history
+/// file (`BENCH_history.jsonl` at the workspace root, overridable via
+/// `STARNUMA_BENCH_HISTORY`). Each line is a flat object of dotted keys —
+/// exactly the shape `starnuma bench-diff` parses — so the one-off
+/// `BENCH_hotpath.json` snapshot becomes a tracked time series.
+pub fn append_history(bench: &str, smoke: bool, metrics: &[(String, f64)]) {
+    use std::io::Write as _;
+    let path = std::env::var("STARNUMA_BENCH_HISTORY")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_history.jsonl", env!("CARGO_MANIFEST_DIR")));
+    let mut line = format!(
+        "{{\"schema_version\":1,\"bench\":\"{bench}\",\"smoke\":{},\"version\":\"{}\"",
+        u8::from(smoke),
+        env!("CARGO_PKG_VERSION"),
+    );
+    for (key, value) in metrics {
+        let value = if value.is_finite() { *value } else { 0.0 };
+        line.push_str(&format!(",\"{key}\":{value}"));
+    }
+    line.push_str("}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    match written {
+        Ok(()) => println!("appended {bench} history entry to {path}"),
+        Err(e) => eprintln!("failed to append bench history {path}: {e}"),
+    }
+}
+
 /// Formats a speedup cell like `1.54x`.
 pub fn fmt_speedup(s: f64) -> String {
     format!("{s:.2}x")

@@ -122,6 +122,20 @@ impl Args {
         self.switches.iter().any(|s| s == name)
     }
 
+    /// Re-targets a wrapper invocation at its inner command:
+    /// `profile run --workload bfs --profile-out p.json` dispatches as
+    /// `run --workload bfs` once the wrapper's own flags are stripped.
+    pub(crate) fn rewrap(&self, inner: &str, strip: &[&str]) -> Args {
+        let mut rewrapped = self.clone();
+        rewrapped.command = inner.to_string();
+        rewrapped.subcommand = None;
+        for name in strip {
+            rewrapped.flags.remove(*name);
+            rewrapped.switches.retain(|s| s != name);
+        }
+        rewrapped
+    }
+
     /// Rejects any flags outside the allowed set (catches typos).
     ///
     /// # Errors
@@ -200,6 +214,24 @@ mod tests {
         let e = a.expect_only(&["workload", "seed"]).unwrap_err();
         assert!(e.to_string().contains("--sed"));
         assert!(a.expect_only(&["workload", "sed"]).is_ok());
+    }
+
+    #[test]
+    fn rewrap_retargets_and_strips_wrapper_flags() {
+        let a = parse(&[
+            "profile",
+            "run",
+            "--workload",
+            "bfs",
+            "--profile-out",
+            "p.json",
+        ])
+        .unwrap();
+        let inner = a.rewrap("run", &["profile-out", "folded-out"]);
+        assert_eq!(inner.command(), "run");
+        assert_eq!(inner.subcommand(), None);
+        assert_eq!(inner.get("workload"), Some("bfs"));
+        assert_eq!(inner.get("profile-out"), None);
     }
 
     #[test]

@@ -6,7 +6,11 @@ use std::process::ExitCode;
 
 use std::collections::BTreeMap;
 
-use starnuma::obs::{metrics_json, parse_flat_object, trace_jsonl, JsonValue, ObsReport, RunMeta};
+use starnuma::obs::{
+    metrics_json, parse_flat_object, percentile_from_counts, trace_jsonl, JsonValue, ObsReport,
+    RunMeta,
+};
+use starnuma::prof;
 use starnuma::report::{run_result_json, Json};
 use starnuma::{
     geomean, AccessClass, CxlLatencyBreakdown, Experiment, JobPool, LatencyModel, RunResult,
@@ -590,6 +594,212 @@ pub fn cmd_lint(args: &Args) -> Result<ExitCode, ArgError> {
     }
 }
 
+/// `starnuma profile <run|compare|sweep> <wrapped flags>
+/// [--profile-out PATH] [--folded-out PATH]`: runs the wrapped command
+/// under the deterministic self-profiler, renders the top-down wall-time
+/// attribution tree, and writes the schema-versioned `profile.json`
+/// (plus optional folded stacks for flamegraph tooling). Profiling never
+/// feeds back into the simulation, so the wrapped command's outputs are
+/// bit-identical to an unprofiled invocation.
+pub fn cmd_profile(args: &Args) -> Result<(), ArgError> {
+    let sub = args
+        .subcommand()
+        .filter(|s| matches!(*s, "run" | "compare" | "sweep"))
+        .ok_or_else(|| {
+            ArgError(
+                "profile wraps a simulation command: \
+                 starnuma profile <run|compare|sweep> ..."
+                    .into(),
+            )
+        })?;
+    let profile_out = args.get_or("profile-out", "profile.json").to_string();
+    let folded_out = args.get("folded-out").map(str::to_string);
+    let inner = args.rewrap(sub, &["profile-out", "folded-out"]);
+    prof::reset();
+    prof::set_enabled(true);
+    let timer = prof::SessionTimer::start();
+    let dispatched = match sub {
+        "run" => cmd_run(&inner),
+        "compare" => cmd_compare(&inner),
+        _ => cmd_sweep(&inner),
+    };
+    let wall_ns = timer.elapsed_ns();
+    prof::set_enabled(false);
+    let report = prof::take_report();
+    dispatched?;
+    println!();
+    print!("{}", report.render_tree(wall_ns));
+    write_out(
+        &profile_out,
+        &report.to_json(&format!("profile {sub}"), wall_ns),
+    )?;
+    println!("wrote {profile_out}");
+    if let Some(path) = &folded_out {
+        write_out(path, &report.folded())?;
+        println!("wrote folded stacks to {path}");
+    }
+    Ok(())
+}
+
+/// Loads bench metrics from a flat JSON object file or a
+/// `BENCH_history.jsonl` file. Every non-empty line must be a flat JSON
+/// object; numeric fields are merged across lines with later lines
+/// superseding earlier ones per key, so a history file compares at its
+/// most recent state. Identity fields (`bench`, `schema_version`,
+/// `smoke`, `version`) are not metrics and are dropped.
+fn load_bench_metrics(path: &str) -> Result<BTreeMap<String, f64>, ArgError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let mut metrics = BTreeMap::new();
+    let mut parsed_any = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line)
+            .ok_or_else(|| ArgError(format!("{path}:{}: not a flat JSON object line", i + 1)))?;
+        parsed_any = true;
+        for (key, value) in obj {
+            if matches!(
+                key.as_str(),
+                "bench" | "schema_version" | "smoke" | "version"
+            ) {
+                continue;
+            }
+            if let JsonValue::Num(n) = value {
+                if n.is_finite() {
+                    metrics.insert(key, n);
+                }
+            }
+        }
+    }
+    if !parsed_any {
+        return Err(ArgError(format!("{path}: no metric lines")));
+    }
+    Ok(metrics)
+}
+
+/// The known-good direction of a bench metric, inferred from its key.
+/// Throughput-style metrics regress when they fall, latency/overhead
+/// metrics when they rise; anything else is reported without judgement.
+fn higher_is_better(key: &str) -> Option<bool> {
+    if key.contains("per_sec") || key.contains("speedup") || key.contains("minstr") {
+        Some(true)
+    } else if key.contains("_ns") || key.contains("ns_per") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Renders the metric-by-metric comparison and counts regressions: shared
+/// keys whose value moved beyond the tolerance band in the bad direction.
+fn bench_diff_report(
+    old: &BTreeMap<String, f64>,
+    new: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> (String, usize) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    let _ = writeln!(
+        out,
+        "{:<44} {:>12} {:>12} {:>8}  verdict",
+        "metric", "old", "new", "delta"
+    );
+    for (key, &old_v) in old {
+        let Some(&new_v) = new.get(key) else {
+            let _ = writeln!(out, "{key:<44} {old_v:>12.3} {:>12}  (metric removed)", "-");
+            continue;
+        };
+        let delta = if old_v == 0.0 {
+            if new_v == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * new_v.signum()
+            }
+        } else {
+            (new_v - old_v) / old_v.abs()
+        };
+        let verdict = match higher_is_better(key) {
+            Some(true) if delta < -tolerance => {
+                regressions += 1;
+                "REGRESSION"
+            }
+            Some(false) if delta > tolerance => {
+                regressions += 1;
+                "REGRESSION"
+            }
+            Some(_) => "ok",
+            None => "info",
+        };
+        let _ = writeln!(
+            out,
+            "{key:<44} {old_v:>12.3} {new_v:>12.3} {:>+7.1}%  {verdict}",
+            delta * 100.0
+        );
+    }
+    for (key, &new_v) in new {
+        if !old.contains_key(key) {
+            let _ = writeln!(out, "{key:<44} {:>12} {new_v:>12.3}  (new metric)", "-");
+        }
+    }
+    (out, regressions)
+}
+
+/// `starnuma bench-diff <old> <new> [--tolerance FRAC]`: compares two
+/// bench-metric files (flat JSON objects or `BENCH_history.jsonl`) and
+/// exits non-zero when any shared metric regressed beyond the tolerance
+/// band in its known-good direction — the CI perf-regression smoke gate.
+/// Takes raw tokens because the `Args` grammar has no second positional.
+pub fn cmd_bench_diff(raw: &[String]) -> Result<ExitCode, ArgError> {
+    let mut positionals: Vec<&str> = Vec::new();
+    let mut tolerance = 0.2_f64;
+    let mut iter = raw.iter();
+    while let Some(token) = iter.next() {
+        if token == "--tolerance" {
+            let v = iter
+                .next()
+                .ok_or_else(|| ArgError("flag --tolerance requires a value".into()))?;
+            tolerance = v
+                .parse::<f64>()
+                .ok()
+                .filter(|t| t.is_finite() && *t >= 0.0)
+                .ok_or_else(|| {
+                    ArgError(format!(
+                        "--tolerance expects a non-negative fraction, got '{v}'"
+                    ))
+                })?;
+        } else if let Some(name) = token.strip_prefix("--") {
+            return Err(ArgError(format!(
+                "unknown flag --{name} for command 'bench-diff'"
+            )));
+        } else {
+            positionals.push(token);
+        }
+    }
+    let [old_path, new_path] = positionals[..] else {
+        return Err(ArgError(
+            "bench-diff needs two files: starnuma bench-diff <old> <new> [--tolerance FRAC]".into(),
+        ));
+    };
+    let old = load_bench_metrics(old_path)?;
+    let new = load_bench_metrics(new_path)?;
+    let (table, regressions) = bench_diff_report(&old, &new, tolerance);
+    println!(
+        "bench-diff: {old_path} -> {new_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    print!("{table}");
+    if regressions == 0 {
+        println!("no regressions beyond the tolerance band");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("{regressions} metric(s) regressed beyond the tolerance band");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 /// One run's worth of parsed trace lines: the `meta` header plus its
 /// `event`/`hist`/`counters` lines. A multi-run file (from `compare` or
 /// `sweep --trace-out`) concatenates sections.
@@ -796,11 +1006,12 @@ fn render_section(section: &TraceSection, top: usize) {
                 _ => Vec::new(),
             };
             println!(
-                "  socket {:>3} {:<10} count {:>10} mean {:>7.0} ns |{}|",
+                "  socket {:>3} {:<10} count {:>10} mean {:>7.0} ns p95 {:>7.0} ns |{}|",
                 num_of(h, "socket"),
                 str_of(h, "class"),
                 num_of(h, "count"),
                 num_of(h, "mean_ns"),
+                percentile_from_counts(&buckets, 0.95),
                 sparkline(&buckets),
             );
         }
@@ -815,28 +1026,67 @@ fn render_section(section: &TraceSection, top: usize) {
     println!();
 }
 
-/// Converts parsed event lines back into Chrome `trace_event` JSON.
+/// The `args` payload for a Chrome event: every journal field except the
+/// envelope (`type`/`seq`/`phase`/`cat`/`name`) and the `edge` pairing
+/// marker, with `level` always first.
+fn chrome_args(e: &BTreeMap<String, JsonValue>) -> Json {
+    let mut event_args = vec![(
+        "level".to_string(),
+        Json::Str(str_of(e, "level").to_string()),
+    )];
+    for (k, v) in e {
+        if matches!(
+            k.as_str(),
+            "type" | "seq" | "phase" | "level" | "cat" | "name" | "edge"
+        ) {
+            continue;
+        }
+        let value = match v {
+            JsonValue::Num(n) => Json::Num(*n),
+            JsonValue::Str(s) => Json::Str(s.clone()),
+            JsonValue::Arr(a) => Json::Arr(a.iter().map(|n| Json::Num(*n)).collect()),
+        };
+        event_args.push((k.clone(), value));
+    }
+    Json::Obj(event_args)
+}
+
+/// Converts parsed event lines back into Chrome `trace_event` JSON,
+/// pairing `phase_checkpoint` begin/end edge markers into one duration
+/// (`"ph":"X"`) span per phase — the same pairing [`starnuma::obs`]'s own
+/// exporter performs. Unpaired or edge-less events stay instants.
 fn chrome_from_sections(sections: &[TraceSection]) -> String {
     let mut trace_events = Vec::new();
     for section in sections {
-        for e in &section.events {
-            let mut event_args = vec![(
-                "level".to_string(),
-                Json::Str(str_of(e, "level").to_string()),
-            )];
-            for (k, v) in e {
-                if matches!(
-                    k.as_str(),
-                    "type" | "seq" | "phase" | "level" | "cat" | "name"
-                ) {
-                    continue;
-                }
-                let value = match v {
-                    JsonValue::Num(n) => Json::Num(*n),
-                    JsonValue::Str(s) => Json::Str(s.clone()),
-                    JsonValue::Arr(a) => Json::Arr(a.iter().map(|n| Json::Num(*n)).collect()),
-                };
-                event_args.push((k.clone(), value));
+        let mut spans: BTreeMap<u64, (Option<usize>, Option<usize>)> = BTreeMap::new();
+        for (i, e) in section.events.iter().enumerate() {
+            if str_of(e, "name") != "phase_checkpoint" {
+                continue;
+            }
+            let Some(edge) = e.get("edge").and_then(JsonValue::as_str) else {
+                continue;
+            };
+            let entry = spans
+                .entry(num_of(e, "phase") as u64)
+                .or_insert((None, None));
+            match edge {
+                "begin" if entry.0.is_none() => entry.0 = Some(i),
+                "end" if entry.1.is_none() => entry.1 = Some(i),
+                _ => {}
+            }
+        }
+        let mut paired: Vec<(u64, usize, usize)> = Vec::new();
+        let mut consumed = vec![false; section.events.len()];
+        for (phase, (begin, end)) in spans {
+            if let (Some(bi), Some(ei)) = (begin, end) {
+                consumed[bi] = true;
+                consumed[ei] = true;
+                paired.push((phase, bi, ei));
+            }
+        }
+        for (i, e) in section.events.iter().enumerate() {
+            if consumed[i] {
+                continue;
             }
             trace_events.push(Json::Obj(vec![
                 ("name".into(), Json::Str(str_of(e, "name").into())),
@@ -846,7 +1096,22 @@ fn chrome_from_sections(sections: &[TraceSection]) -> String {
                 ("pid".into(), Json::Num(0.0)),
                 ("tid".into(), Json::Num(num_of(e, "phase"))),
                 ("s".into(), Json::Str("t".into())),
-                ("args".into(), Json::Obj(event_args)),
+                ("args".into(), chrome_args(e)),
+            ]));
+        }
+        for (phase, bi, ei) in paired {
+            let begin = &section.events[bi];
+            let end = &section.events[ei];
+            let dur = (num_of(end, "seq") - num_of(begin, "seq")).max(0.0);
+            trace_events.push(Json::Obj(vec![
+                ("name".into(), Json::Str(str_of(begin, "name").into())),
+                ("cat".into(), Json::Str(str_of(begin, "cat").into())),
+                ("ph".into(), Json::Str("X".into())),
+                ("ts".into(), Json::Num(num_of(begin, "seq"))),
+                ("dur".into(), Json::Num(dur)),
+                ("pid".into(), Json::Num(0.0)),
+                ("tid".into(), Json::Num(phase as f64)),
+                ("args".into(), chrome_args(begin)),
             ]));
         }
     }
@@ -857,16 +1122,33 @@ fn chrome_from_sections(sections: &[TraceSection]) -> String {
     .render()
 }
 
-/// `starnuma inspect <trace.jsonl> [--top N] [--chrome PATH]`: renders a
-/// human summary of a `--trace-out` file — run identity, the per-phase
-/// migration-decision timeline, the most-migrated regions, and per-socket
-/// access-latency histograms — and can re-emit the journal as Chrome
-/// `trace_event` JSON for `about://tracing` / Perfetto.
+/// `starnuma inspect [<trace.jsonl>] [--top N] [--chrome PATH]
+/// [--profile PATH]`: renders a human summary of a `--trace-out` file —
+/// run identity, the per-phase migration-decision timeline, the
+/// most-migrated regions, and per-socket access-latency histograms — and
+/// can re-emit the journal as Chrome `trace_event` JSON for
+/// `about://tracing` / Perfetto. `--profile` renders a saved
+/// `profile.json` attribution tree (alone, or alongside a trace).
 pub fn cmd_inspect(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["top", "chrome"])?;
-    let path = args.subcommand().ok_or_else(|| {
-        ArgError("inspect needs a trace file: starnuma inspect <trace.jsonl>".into())
-    })?;
+    args.expect_only(&["top", "chrome", "profile"])?;
+    if let Some(profile_path) = args.get("profile") {
+        let text = std::fs::read_to_string(profile_path)
+            .map_err(|e| ArgError(format!("cannot read {profile_path}: {e}")))?;
+        let saved = prof::ProfReport::from_json(&text)
+            .ok_or_else(|| ArgError(format!("{profile_path}: not a starnuma profile.json")))?;
+        println!("{profile_path}: `starnuma {}`", saved.command);
+        print!("{}", saved.report.render_tree(saved.wall_ns));
+        println!();
+    }
+    let path = match args.subcommand() {
+        Some(path) => path,
+        None if args.get("profile").is_some() => return Ok(()),
+        None => {
+            return Err(ArgError(
+                "inspect needs a trace file: starnuma inspect <trace.jsonl>".into(),
+            ))
+        }
+    };
     let top = args.get_u64("top", 10)? as usize;
     let sections = parse_trace_file(path)?;
     for section in &sections {
@@ -877,4 +1159,83 @@ pub fn cmd_inspect(args: &Args) -> Result<(), ArgError> {
         println!("wrote Chrome trace_event JSON to {out}");
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn bench_diff_is_direction_aware() {
+        let old = metrics(&[
+            ("hot.minstr_per_sec", 100.0),
+            ("prof.disabled_ns_per_scope", 2.0),
+            ("misc.count", 10.0),
+        ]);
+        // Throughput down 30% and overhead up 50%: both regress at 20%.
+        let new = metrics(&[
+            ("hot.minstr_per_sec", 70.0),
+            ("prof.disabled_ns_per_scope", 3.0),
+            ("misc.count", 99.0),
+        ]);
+        let (table, regressions) = bench_diff_report(&old, &new, 0.2);
+        assert_eq!(regressions, 2);
+        assert!(table.contains("REGRESSION"));
+        // The direction-less key is informational however far it moves.
+        assert!(table.contains("misc.count"));
+        assert!(table.contains("info"));
+        // Generous tolerance clears both.
+        let (_, regressions) = bench_diff_report(&old, &new, 0.6);
+        assert_eq!(regressions, 0);
+    }
+
+    #[test]
+    fn bench_diff_improvements_are_not_regressions() {
+        let old = metrics(&[
+            ("hot.minstr_per_sec", 100.0),
+            ("prof.disabled_ns_per_scope", 2.0),
+        ]);
+        let new = metrics(&[
+            ("hot.minstr_per_sec", 300.0),
+            ("prof.disabled_ns_per_scope", 0.5),
+        ]);
+        let (_, regressions) = bench_diff_report(&old, &new, 0.05);
+        assert_eq!(regressions, 0);
+    }
+
+    #[test]
+    fn bench_diff_reports_added_and_removed_metrics() {
+        let old = metrics(&[("gone.speedup", 2.0)]);
+        let new = metrics(&[("fresh.speedup", 3.0)]);
+        let (table, regressions) = bench_diff_report(&old, &new, 0.2);
+        assert_eq!(regressions, 0);
+        assert!(table.contains("(metric removed)"));
+        assert!(table.contains("(new metric)"));
+    }
+
+    #[test]
+    fn bench_metrics_load_merges_history_lines() {
+        let dir = std::env::temp_dir().join("starnuma-cli-bench-load-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("history.jsonl");
+        let path_s = path.to_str().expect("utf-8 path");
+        std::fs::write(
+            &path,
+            "{\"bench\": \"hot\", \"schema_version\": 1, \"a.x_ns\": 5}\n\
+             {\"bench\": \"hot\", \"schema_version\": 1, \"a.x_ns\": 7, \"b.per_sec\": 2}\n",
+        )
+        .expect("write history");
+        let m = load_bench_metrics(path_s).expect("loads");
+        // Later lines supersede earlier ones; identity keys are dropped.
+        assert_eq!(m.get("a.x_ns"), Some(&7.0));
+        assert_eq!(m.get("b.per_sec"), Some(&2.0));
+        assert!(!m.contains_key("bench"));
+        assert!(!m.contains_key("schema_version"));
+        assert!(load_bench_metrics("/nonexistent/x").is_err());
+        let _ = std::fs::remove_file(path);
+    }
 }

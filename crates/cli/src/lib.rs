@@ -8,7 +8,9 @@
 //! starnuma workloads
 //! starnuma trace gen  --workload bfs --out bfs.sntr [--instructions N]
 //! starnuma trace info --in bfs.sntr
-//! starnuma inspect  trace.jsonl [--top N] [--chrome out.json]
+//! starnuma profile  <run|compare|sweep> ... [--profile-out profile.json]
+//! starnuma bench-diff <old> <new> [--tolerance 0.2]
+//! starnuma inspect  trace.jsonl [--top N] [--chrome out.json] [--profile p.json]
 //! starnuma lint     [--root .] [--format human|json]
 //! ```
 //!
@@ -42,9 +44,15 @@ pub fn run(raw: Vec<String>) -> Result<ExitCode, ArgError> {
         println!("{}", usage());
         return Ok(ExitCode::SUCCESS);
     }
+    // `bench-diff <old> <new>` takes two positionals, which the `Args`
+    // grammar does not — dispatch it on the raw tokens.
+    if raw[0] == "bench-diff" {
+        return commands::cmd_bench_diff(&raw[1..]);
+    }
     let args = Args::parse(raw)?;
     match args.command() {
         "run" => commands::cmd_run(&args).map(|()| ExitCode::SUCCESS),
+        "profile" => commands::cmd_profile(&args).map(|()| ExitCode::SUCCESS),
         "compare" => commands::cmd_compare(&args).map(|()| ExitCode::SUCCESS),
         "sweep" => commands::cmd_sweep(&args).map(|()| ExitCode::SUCCESS),
         "topology" => commands::cmd_topology(&args).map(|()| ExitCode::SUCCESS),
@@ -83,12 +91,27 @@ commands:
               --workload <name> --out <path> [--instructions N] [--seed N]
   trace info inspect a trace file
               --in <path>
+  profile   run a command under the deterministic self-profiler:
+            starnuma profile <run|compare|sweep> <that command's flags>
+            prints the top-down wall-time attribution tree (% wall,
+            total, calls, ns/call); results stay bit-identical
+              --profile-out <path>     attribution JSON (default profile.json)
+              --folded-out <path>      folded stacks for flamegraph tooling
+  bench-diff compare two bench-metric files (flat JSON object or
+            BENCH_history.jsonl; later history lines supersede earlier):
+            starnuma bench-diff <old> <new> [--tolerance FRAC]
+            exits non-zero when a metric regresses beyond the band
+            in its known-good direction (default tolerance 0.2)
   inspect   summarize a --trace-out JSONL file: run identity, the
             per-phase migration timeline, top migrated regions, and
-            per-socket access-latency histograms
+            per-socket access-latency histograms (mean + p95)
               --top <n>                regions to list (default 10)
               --chrome <path>          also write Chrome trace_event JSON
-                                       (open in about://tracing / Perfetto)
+                                       (open in about://tracing / Perfetto;
+                                       checkpoint begin/end pairs render as
+                                       duration spans)
+              --profile <path>         render a profile.json attribution
+                                       tree (trace file then optional)
   lint      run the SN001–SN005 source lints over a workspace tree
               --root <path>            (default .)
               --format human|json      (default human; --json is a shorthand)
@@ -229,6 +252,73 @@ mod tests {
         assert!(run_tokens(&["trace", "info", "--in", path_s]).is_ok());
         assert!(run_tokens(&["trace", "info", "--in", "/nonexistent/x"]).is_err());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn profile_wraps_a_run_and_roundtrips_through_inspect() {
+        let dir = std::env::temp_dir().join("starnuma-cli-profile-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let out = dir.join("profile.json");
+        let folded = dir.join("profile.folded");
+        let out_s = out.to_str().expect("utf-8 path");
+        let folded_s = folded.to_str().expect("utf-8 path");
+        assert!(run_tokens(&[
+            "profile",
+            "run",
+            "--workload",
+            "bfs",
+            "--scale",
+            "quick",
+            "--phases",
+            "1",
+            "--instructions",
+            "4000",
+            "--jobs",
+            "1",
+            "--profile-out",
+            out_s,
+            "--folded-out",
+            folded_s,
+        ])
+        .is_ok());
+        let saved = std::fs::read_to_string(&out).expect("profile.json written");
+        assert!(saved.contains("\"schema_version\": 1"));
+        assert!(saved.contains("timing"));
+        let stacks = std::fs::read_to_string(&folded).expect("folded written");
+        assert!(stacks.lines().all(|l| l.starts_with("starnuma")));
+        assert!(run_tokens(&["inspect", "--profile", out_s]).is_ok());
+        assert!(run_tokens(&["profile", "topology"]).is_err());
+        assert!(run_tokens(&["profile"]).is_err());
+        let _ = std::fs::remove_file(out);
+        let _ = std::fs::remove_file(folded);
+    }
+
+    #[test]
+    fn bench_diff_validates_inputs() {
+        let dir = std::env::temp_dir().join("starnuma-cli-bench-diff-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let old = dir.join("old.json");
+        let new = dir.join("new.jsonl");
+        let old_s = old.to_str().expect("utf-8 path");
+        let new_s = new.to_str().expect("utf-8 path");
+        std::fs::write(
+            &old,
+            "{\"hot.minstr_per_sec\": 100.0, \"prof.ns_per_scope\": 2.0}\n",
+        )
+        .expect("write old");
+        std::fs::write(
+            &new,
+            "{\"bench\": \"hot\", \"schema_version\": 1, \"hot.minstr_per_sec\": 95.0}\n\
+             {\"bench\": \"prof\", \"schema_version\": 1, \"prof.ns_per_scope\": 2.1}\n",
+        )
+        .expect("write new");
+        assert!(run_tokens(&["bench-diff", old_s, new_s, "--tolerance", "0.25"]).is_ok());
+        assert!(run_tokens(&["bench-diff", old_s]).is_err());
+        assert!(run_tokens(&["bench-diff", old_s, new_s, "--tolerance", "nope"]).is_err());
+        assert!(run_tokens(&["bench-diff", old_s, new_s, "--frobnicate"]).is_err());
+        assert!(run_tokens(&["bench-diff", old_s, "/nonexistent/x"]).is_err());
+        let _ = std::fs::remove_file(old);
+        let _ = std::fs::remove_file(new);
     }
 
     #[test]

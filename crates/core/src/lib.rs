@@ -51,6 +51,7 @@ pub use pool::{set_global_jobs, set_progress, JobPool};
 pub use scale::ScaleConfig;
 
 pub use starnuma_obs as obs;
+pub use starnuma_prof as prof;
 
 pub use starnuma_sim::{MigrationMode, Modality, PhaseStats, RunConfig, RunResult, Runner};
 pub use starnuma_topology::{

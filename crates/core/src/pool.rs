@@ -31,7 +31,7 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::Instant; // audit:allow(SN002) — ProgressMeter's operator ETA only
 
 use starnuma_types::{ConfigError, StarNumaError};
 
@@ -73,7 +73,7 @@ pub fn set_progress(enabled: bool) {
 struct ProgressMeter {
     total: usize,
     done: AtomicUsize,
-    start: Instant,
+    start: Instant, // audit:allow(SN002) — operator ETA only
 }
 
 impl ProgressMeter {
@@ -260,6 +260,11 @@ impl JobPool {
                                 m.tick();
                             }
                         }
+                        // Merge this worker's profiler tables before the
+                        // scoped thread exits (no-op when profiling is off);
+                        // the caller's `take_report` then sees every
+                        // worker's counts, merged in canonical site order.
+                        starnuma_prof::flush_thread();
                         done
                     })
                 })

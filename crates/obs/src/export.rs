@@ -221,10 +221,38 @@ pub fn metrics_json(meta: &RunMeta, registry: &MetricsRegistry) -> String {
 /// timestamp is the monotonic sequence number (the model has no wall
 /// clock) and whose `tid` is the phase, so each phase renders as a track.
 pub fn chrome_trace_json(meta: &RunMeta, report: &ObsReport) -> String {
+    // Pair each phase's `phase_checkpoint` begin/end edge events into one
+    // duration (`"ph":"X"`) span so the phase's step-C work renders as a
+    // bar instead of two dots. Events without an `edge` field (including
+    // traces recorded before the edge fields existed) stay instants.
+    fn edge_of(e: &crate::Event) -> Option<&str> {
+        if e.name != "phase_checkpoint" {
+            return None;
+        }
+        e.fields.iter().find_map(|(k, v)| match v {
+            crate::FieldValue::Str(s) if *k == "edge" => Some(s.as_str()),
+            _ => None,
+        })
+    }
+    let mut spans: std::collections::BTreeMap<u32, (Option<usize>, Option<u64>)> =
+        std::collections::BTreeMap::new();
+    for (i, e) in report.events.iter().enumerate() {
+        match edge_of(e) {
+            Some("begin") => spans.entry(e.phase).or_default().0 = Some(i),
+            Some("end") => spans.entry(e.phase).or_default().1 = Some(e.seq),
+            _ => {}
+        }
+    }
+    // Only fully-paired phases collapse into spans.
+    spans.retain(|_, (b, e)| b.is_some() && e.is_some());
+
     let mut out = String::new();
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
     for e in &report.events {
+        if edge_of(e).is_some() && spans.contains_key(&e.phase) {
+            continue; // folded into the duration span below
+        }
         if !first {
             out.push(',');
         }
@@ -241,6 +269,33 @@ pub fn chrome_trace_json(meta: &RunMeta, report: &ObsReport) -> String {
         out.push_str("\"level\":");
         esc(e.level.label(), &mut out);
         for (k, v) in &e.fields {
+            out.push(',');
+            field(k, v, &mut out);
+        }
+        out.push_str("}}");
+    }
+    for (phase, (begin_idx, end_seq)) in &spans {
+        let (Some(bi), Some(end)) = (begin_idx, end_seq) else {
+            continue;
+        };
+        let begin = &report.events[*bi];
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"phase_checkpoint\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{phase},\"args\":{{",
+            begin.category.label(),
+            begin.seq,
+            end.saturating_sub(begin.seq)
+        );
+        out.push_str("\"level\":");
+        esc(begin.level.label(), &mut out);
+        for (k, v) in &begin.fields {
+            if *k == "edge" {
+                continue;
+            }
             out.push(',');
             field(k, v, &mut out);
         }
@@ -530,6 +585,42 @@ mod tests {
         assert!(text.contains("\"tid\":0"));
         assert!(text.contains("\"name\":\"region_migrated\""));
         assert!(text.ends_with("}}"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_checkpoint_edges_into_duration_spans() {
+        let mut sink = ObsSink::enabled(2, LABELS, 64);
+        sink.begin_phase(0);
+        sink.event(
+            EventLevel::Info,
+            EventCategory::Checkpoint,
+            "phase_checkpoint",
+            || {
+                vec![
+                    ("edge", FieldValue::Str("begin".to_string())),
+                    ("planned_moves", FieldValue::U64(3)),
+                ]
+            },
+        );
+        sink.event(EventLevel::Info, EventCategory::Migration, "mid", Vec::new);
+        sink.event(
+            EventLevel::Info,
+            EventCategory::Checkpoint,
+            "phase_checkpoint",
+            || vec![("edge", FieldValue::Str("end".to_string()))],
+        );
+        sink.end_phase();
+        let text = chrome_trace_json(&meta(), &sink.finish());
+        // The pair collapses into one duration event spanning begin → end.
+        assert!(text.contains("\"ph\":\"X\""), "{text}");
+        assert!(text.contains("\"dur\":2"), "{text}");
+        assert!(text.contains("\"planned_moves\":3"), "{text}");
+        // The edge instants are folded away; the mid event stays an instant.
+        assert_eq!(text.matches("phase_checkpoint").count(), 1, "{text}");
+        assert!(text.contains("\"name\":\"mid\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        // The synthetic `edge` field does not leak into the span's args.
+        assert!(!text.contains("\"edge\""), "{text}");
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use export::{
 };
 pub use journal::{Event, EventCategory, EventJournal, EventLevel, FieldValue};
 pub use metrics::{
-    LatencyHistogram, MetricsFrame, MetricsRegistry, Observe, SocketMetrics, HIST_BUCKETS,
-    NUM_CLASSES,
+    percentile_from_counts, LatencyHistogram, MetricsFrame, MetricsRegistry, Observe,
+    SocketMetrics, HIST_BUCKETS, NUM_CLASSES,
 };
 pub use sink::{ObsReport, ObsSink, DEFAULT_JOURNAL_CAPACITY};

@@ -108,6 +108,66 @@ impl LatencyHistogram {
     pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
         &self.buckets
     }
+
+    /// The `p`-th percentile latency in ns (`p` in `[0, 1]`), estimated by
+    /// linear interpolation within the covering log2 bucket. 0 when empty.
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        let counts: Vec<f64> = self.buckets.iter().map(|&c| c as f64).collect();
+        percentile_from_counts(&counts, p)
+    }
+
+    /// Median latency in ns.
+    pub fn p50_ns(&self) -> f64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// 95th-percentile latency in ns.
+    pub fn p95_ns(&self) -> f64 {
+        self.percentile_ns(0.95)
+    }
+
+    /// 99th-percentile latency in ns.
+    pub fn p99_ns(&self) -> f64 {
+        self.percentile_ns(0.99)
+    }
+}
+
+/// Percentile estimation over raw log2 bucket counts (the shape exported
+/// in trace JSONL `hist` lines, so the CLI can compute percentiles from a
+/// parsed trace without rebuilding a [`LatencyHistogram`]).
+///
+/// The rank `p * total` is located in its covering bucket and linearly
+/// interpolated between the bucket's floor and ceiling — the standard
+/// estimator for log2 histograms (HdrHistogram-style): exact at bucket
+/// edges, at most a factor-2 bucket width off inside.
+pub fn percentile_from_counts(counts: &[f64], p: f64) -> f64 {
+    let total: f64 = counts.iter().copied().filter(|c| c.is_finite()).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let rank = (p.clamp(0.0, 1.0) * total).min(total);
+    let mut cumulative = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        if !c.is_finite() || c <= 0.0 {
+            continue;
+        }
+        let next = cumulative + c;
+        if rank <= next {
+            let floor = LatencyHistogram::bucket_floor_ns(i) as f64;
+            let ceil = if i == 0 {
+                0.0
+            } else {
+                (2 * LatencyHistogram::bucket_floor_ns(i)) as f64
+            };
+            let frac = ((rank - cumulative) / c).clamp(0.0, 1.0);
+            return floor + (ceil - floor) * frac;
+        }
+        cumulative = next;
+    }
+    // rank == total with trailing zero buckets: the last non-empty bucket's
+    // ceiling was returned above; reaching here means all buckets were
+    // empty or non-finite.
+    0.0
 }
 
 /// Per-socket metrics: one latency histogram per access class.
@@ -324,6 +384,59 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert!((a.mean_ns() - (80.0 + 360.0 + 180.0) / 3.0).abs() < 1e-9);
         assert_eq!(a.buckets().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn percentiles_on_known_distributions() {
+        // 100 identical samples at 100 ns: bucket 7 covers [64, 128). Every
+        // percentile interpolates inside that one bucket, so p50 < p95 <
+        // p99 and all stay within the bucket's bounds.
+        let mut h = LatencyHistogram::default();
+        for _ in 0..100 {
+            h.record(100.0);
+        }
+        for p in [h.p50_ns(), h.p95_ns(), h.p99_ns()] {
+            assert!((64.0..=128.0).contains(&p), "degenerate percentile {p}");
+        }
+        assert!(h.p50_ns() < h.p95_ns() && h.p95_ns() < h.p99_ns());
+
+        // 90 samples in [64,128) + 10 in [1024,2048): p50 sits in the low
+        // bucket, p95 and p99 in the tail bucket.
+        let mut h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(80.0);
+        }
+        for _ in 0..10 {
+            h.record(1_500.0);
+        }
+        assert!((64.0..=128.0).contains(&h.p50_ns()), "p50 {}", h.p50_ns());
+        assert!(
+            (1024.0..=2048.0).contains(&h.p95_ns()),
+            "p95 {}",
+            h.p95_ns()
+        );
+        assert!(
+            (1024.0..=2048.0).contains(&h.p99_ns()),
+            "p99 {}",
+            h.p99_ns()
+        );
+        assert!(h.p95_ns() < h.p99_ns());
+
+        // Exact bucket-edge ranks: 50 samples in [64,128), 50 in [128,256);
+        // p50 lands exactly on the first bucket's ceiling (128 ns).
+        let mut h = LatencyHistogram::default();
+        for _ in 0..50 {
+            h.record(100.0);
+        }
+        for _ in 0..50 {
+            h.record(200.0);
+        }
+        assert!((h.p50_ns() - 128.0).abs() < 1e-9, "p50 {}", h.p50_ns());
+
+        // Empty histogram and degenerate inputs.
+        assert_eq!(LatencyHistogram::default().p95_ns(), 0.0);
+        assert_eq!(percentile_from_counts(&[], 0.95), 0.0);
+        assert_eq!(percentile_from_counts(&[f64::NAN, 0.0], 0.5), 0.0);
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! RAII scoped timers and the deterministic accumulator behind them.
+//!
+//! The fast path is one relaxed atomic load: when profiling is disabled
+//! (the default), [`ProfScope::enter`] reads a flag and returns an inert
+//! guard — no wall-clock read, no thread-local access, no allocation.
+//! When enabled, each scope stamps the clock on entry, and on drop charges
+//! the elapsed nanoseconds to a `(phase, site, parent-site)` edge in a
+//! thread-local table of fixed site-indexed arrays. Workers flush their
+//! tables into a process-global registry ([`flush_thread`], called by the
+//! `JobPool` worker loop), and [`take_report`] drains the registry into a
+//! [`ProfReport`](crate::ProfReport) whose edges are emitted in canonical
+//! site order — merges are commutative sums over a fixed universe, so the
+//! *call counts* in a report are independent of worker scheduling, exactly
+//! like obs metric merges.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::clock::{ClockStamp, ProfClock};
+use crate::report::{PhaseProfile, ProfEdge, ProfReport};
+use crate::site::{Site, NUM_SITES};
+
+/// Phase key for work outside any simulation phase (setup, warmup,
+/// scouting, teardown). Real phases are stored at `phase + 1`.
+pub const SETUP_KEY: u32 = 0;
+
+#[derive(Clone, Copy, Default)]
+struct Cell {
+    ns: u64,
+    calls: u64,
+}
+
+/// One phase's `(parent, site)` edge matrix. Parent slot 0 is the root
+/// (no enclosing scope); slot `1 + s.index()` is site `s`.
+#[derive(Clone)]
+struct PhaseTable {
+    cells: [[Cell; NUM_SITES]; NUM_SITES + 1],
+}
+
+impl PhaseTable {
+    fn new() -> PhaseTable {
+        PhaseTable {
+            cells: [[Cell::default(); NUM_SITES]; NUM_SITES + 1],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|row| row.iter().all(|c| c.calls == 0 && c.ns == 0))
+    }
+}
+
+struct ThreadAcc {
+    /// Current phase key (`SETUP_KEY` or `phase + 1`), set by [`set_phase`].
+    phase_key: usize,
+    /// Stack of currently-open sites on this thread (for parent edges).
+    stack: Vec<Site>,
+    /// Per-phase-key tables, indexed by phase key.
+    tables: Vec<PhaseTable>,
+}
+
+impl ThreadAcc {
+    const fn new() -> ThreadAcc {
+        ThreadAcc {
+            phase_key: SETUP_KEY as usize,
+            stack: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static ACC: RefCell<ThreadAcc> = const { RefCell::new(ThreadAcc::new()) };
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<Vec<PhaseTable>> = Mutex::new(Vec::new());
+
+fn lock_global() -> MutexGuard<'static, Vec<PhaseTable>> {
+    match GLOBAL.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Turn profiling on or off process-wide. Off is the default; scopes taken
+/// while off cost one atomic load and record nothing.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether profiling is currently enabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Attribute subsequent scopes on this thread to simulation phase `phase`.
+/// No-op while profiling is disabled.
+pub fn set_phase(phase: u32) {
+    if !is_enabled() {
+        return;
+    }
+    ACC.with(|a| {
+        if let Ok(mut a) = a.try_borrow_mut() {
+            a.phase_key = phase.saturating_add(1) as usize;
+        }
+    });
+}
+
+/// Return this thread to the setup/global phase key (between phases and
+/// after the phase loop).
+pub fn clear_phase() {
+    if !is_enabled() {
+        return;
+    }
+    ACC.with(|a| {
+        if let Ok(mut a) = a.try_borrow_mut() {
+            a.phase_key = SETUP_KEY as usize;
+        }
+    });
+}
+
+/// An RAII scoped timer: charges the wall time between construction and
+/// drop to `site`, parented under whatever scope encloses it on this
+/// thread. Inert (one atomic load) when profiling is disabled.
+#[must_use = "a ProfScope measures the span until it is dropped"]
+pub struct ProfScope {
+    open: Option<(Site, ClockStamp)>,
+}
+
+impl ProfScope {
+    /// Open a scope attributed to `site`.
+    #[inline]
+    pub fn enter(site: Site) -> ProfScope {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return ProfScope { open: None };
+        }
+        ProfScope::enter_enabled(site)
+    }
+
+    #[cold]
+    fn enter_enabled(site: Site) -> ProfScope {
+        ACC.with(|a| {
+            if let Ok(mut a) = a.try_borrow_mut() {
+                a.stack.push(site);
+            }
+        });
+        ProfScope {
+            open: Some((site, ProfClock::stamp())),
+        }
+    }
+}
+
+impl Drop for ProfScope {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((site, stamp)) = self.open.take() {
+            let ns = ProfClock::elapsed_ns(stamp);
+            record_exit(site, ns);
+        }
+    }
+}
+
+#[cold]
+fn record_exit(site: Site, ns: u64) {
+    ACC.with(|a| {
+        let Ok(mut a) = a.try_borrow_mut() else {
+            return;
+        };
+        // Pop this scope; RAII drop order makes the top of the stack ours,
+        // but tolerate imbalance (e.g. a scope moved across an early
+        // return) by removing the deepest matching entry.
+        if a.stack.last() == Some(&site) {
+            a.stack.pop();
+        } else if let Some(pos) = a.stack.iter().rposition(|s| *s == site) {
+            a.stack.remove(pos);
+        }
+        let parent_slot = a.stack.last().map(|s| 1 + s.index()).unwrap_or(0);
+        let key = a.phase_key;
+        while a.tables.len() <= key {
+            a.tables.push(PhaseTable::new());
+        }
+        let cell = &mut a.tables[key].cells[parent_slot][site.index()];
+        cell.ns = cell.ns.saturating_add(ns);
+        cell.calls = cell.calls.saturating_add(1);
+    });
+}
+
+/// Merge this thread's accumulated tables into the process-global registry
+/// and clear them. The `JobPool` worker loop calls this before a worker
+/// thread exits; [`take_report`] calls it for the reporting thread.
+pub fn flush_thread() {
+    ACC.with(|a| {
+        let Ok(mut a) = a.try_borrow_mut() else {
+            return;
+        };
+        if a.tables.iter().all(PhaseTable::is_empty) {
+            a.tables.clear();
+            return;
+        }
+        let tables = std::mem::take(&mut a.tables);
+        let mut global = lock_global();
+        while global.len() < tables.len() {
+            global.push(PhaseTable::new());
+        }
+        for (dst, src) in global.iter_mut().zip(&tables) {
+            for (drow, srow) in dst.cells.iter_mut().zip(&src.cells) {
+                for (d, s) in drow.iter_mut().zip(srow) {
+                    d.ns = d.ns.saturating_add(s.ns);
+                    d.calls = d.calls.saturating_add(s.calls);
+                }
+            }
+        }
+    });
+}
+
+/// Drain everything recorded so far into a report. Edges are emitted in
+/// canonical order: phase keys ascending, parents root-first then in
+/// [`Site::ALL`] order, sites in [`Site::ALL`] order — so two reports built
+/// from the same merged counts render identically regardless of which
+/// worker recorded what.
+pub fn take_report() -> ProfReport {
+    flush_thread();
+    let tables = {
+        let mut global = lock_global();
+        std::mem::take(&mut *global)
+    };
+    let mut phases = Vec::new();
+    for (key, table) in tables.iter().enumerate() {
+        let mut edges = Vec::new();
+        for parent_slot in 0..=NUM_SITES {
+            let parent = if parent_slot == 0 {
+                None
+            } else {
+                Some(Site::ALL[parent_slot - 1])
+            };
+            for site in Site::ALL {
+                let cell = table.cells[parent_slot][site.index()];
+                if cell.calls > 0 || cell.ns > 0 {
+                    edges.push(ProfEdge {
+                        site,
+                        parent,
+                        ns: cell.ns,
+                        calls: cell.calls,
+                    });
+                }
+            }
+        }
+        if !edges.is_empty() {
+            phases.push(PhaseProfile {
+                key: key as u32,
+                edges,
+            });
+        }
+    }
+    ProfReport { phases }
+}
+
+/// Discard everything recorded so far (this thread's tables, the global
+/// registry, and this thread's phase key). The profiling CLI calls this
+/// before enabling so a report covers exactly one command.
+pub fn reset() {
+    ACC.with(|a| {
+        if let Ok(mut a) = a.try_borrow_mut() {
+            a.tables.clear();
+            a.stack.clear();
+            a.phase_key = SETUP_KEY as usize;
+        }
+    });
+    lock_global().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enable flag and global registry are process-wide; tests that
+    /// touch them serialize on this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> MutexGuard<'static, ()> {
+        match TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        let _l = locked();
+        reset();
+        set_enabled(false);
+        for _ in 0..100 {
+            let _s = ProfScope::enter(Site::Timing);
+        }
+        assert!(take_report().phases.is_empty());
+    }
+
+    #[test]
+    fn nested_scopes_build_parent_edges_in_canonical_order() {
+        let _l = locked();
+        reset();
+        set_enabled(true);
+        set_phase(3);
+        {
+            let _outer = ProfScope::enter(Site::Timing);
+            let _inner = ProfScope::enter(Site::Llc);
+        }
+        {
+            let _solo = ProfScope::enter(Site::TraceGen);
+        }
+        clear_phase();
+        set_enabled(false);
+        let report = take_report();
+        assert_eq!(report.phases.len(), 1);
+        let phase = &report.phases[0];
+        assert_eq!(phase.key, 4, "phase 3 stores at key 3+1");
+        let shape: Vec<(Site, Option<Site>, u64)> = phase
+            .edges
+            .iter()
+            .map(|e| (e.site, e.parent, e.calls))
+            .collect();
+        // Root-parented edges first (in ALL order), then parented ones.
+        assert_eq!(
+            shape,
+            vec![
+                (Site::TraceGen, None, 1),
+                (Site::Timing, None, 1),
+                (Site::Llc, Some(Site::Timing), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn worker_flushes_merge_by_summing() {
+        let _l = locked();
+        reset();
+        set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    set_phase(0);
+                    for _ in 0..5 {
+                        let _s = ProfScope::enter(Site::Dram);
+                    }
+                    flush_thread();
+                });
+            }
+        });
+        set_enabled(false);
+        let report = take_report();
+        assert_eq!(report.phases.len(), 1);
+        let edge = &report.phases[0].edges[0];
+        assert_eq!((edge.site, edge.parent), (Site::Dram, None));
+        assert_eq!(edge.calls, 15, "3 workers x 5 scopes");
+    }
+
+    #[test]
+    fn setup_work_lands_in_the_setup_key() {
+        let _l = locked();
+        reset();
+        set_enabled(true);
+        {
+            let _s = ProfScope::enter(Site::Checkpoint);
+        }
+        set_enabled(false);
+        let report = take_report();
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].key, SETUP_KEY);
+    }
+}

@@ -8,6 +8,7 @@ use starnuma_migration::{
     PageAccessCounts, PageMap, PolicyConfig, ReplicaMap, ThresholdPolicy,
 };
 use starnuma_obs::{EventCategory, EventLevel, FieldValue, ObsReport, ObsSink};
+use starnuma_prof::{ProfScope, Site};
 use starnuma_topology::Network;
 use starnuma_trace::{TraceGenerator, WorkloadProfile};
 use starnuma_types::{CoreId, REGION_PAGES};
@@ -121,16 +122,21 @@ impl Runner {
         let pool_cap = self.config.pool_capacity_pages(fp);
         let num_regions = (fp as usize).div_ceil(REGION_PAGES);
 
-        let mut gen = TraceGenerator::new(&self.profile, n_sockets, cps, self.config.seed);
+        let mut gen = {
+            let _prof = ProfScope::enter(Site::TraceGen);
+            TraceGenerator::new(&self.profile, n_sockets, cps, self.config.seed)
+        };
 
         // --- Warm-up trace (also used for first-touch placement). ---
         let warmup_trace = if self.config.warmup_instructions > 0 {
+            let _prof = ProfScope::enter(Site::TraceGen);
             Some(gen.generate_phase(self.config.warmup_instructions))
         } else {
             None
         };
 
         // --- Initial placement (step B bootstrap). ---
+        let placement_prof = ProfScope::enter(Site::MigrationPolicy);
         let mut map = match self.config.migration {
             MigrationMode::StaticOracle => {
                 // Whole-run oracle: tally every phase with a cloned
@@ -140,7 +146,10 @@ impl Runner {
                 let mut scout = gen.clone();
                 let mut counts = PageAccessCounts::new(fp, n_sockets);
                 for _ in 0..self.config.phases {
-                    let t = scout.generate_phase(self.config.instructions_per_phase);
+                    let t = {
+                        let _prof = ProfScope::enter(Site::TraceGen);
+                        scout.generate_phase(self.config.instructions_per_phase)
+                    };
                     counts.merge(&PageAccessCounts::from_trace(&t, fp, n_sockets, cps));
                 }
                 static_oracle_placement_with_sharers(&counts, pool_cap, 8, |p| {
@@ -154,7 +163,10 @@ impl Runner {
                 let mut scout = gen.clone();
                 let mut combined = warmup_trace.clone().unwrap_or_default();
                 for _ in 0..self.config.phases {
-                    let t = scout.generate_phase(self.config.instructions_per_phase);
+                    let t = {
+                        let _prof = ProfScope::enter(Site::TraceGen);
+                        scout.generate_phase(self.config.instructions_per_phase)
+                    };
                     if combined.per_core.is_empty() {
                         combined = t;
                     } else {
@@ -172,11 +184,16 @@ impl Runner {
                 PageMap::first_touch(fp, pool_cap, &combined, cps, n_sockets)
             }
         };
+        drop(placement_prof);
 
-        // --- Hardware models. ---
+        // --- Hardware models. --- (Constructing the interconnect, LLCs,
+        // and directory is a fixed setup cost; charge it to the timing
+        // site so short runs still attribute their wall time.)
+        let model_prof = ProfScope::enter(Site::Timing);
         let net = Network::new(params);
         let mut sim = TimingSim::new(net, MigrationCosts::paper());
         sim.set_light_cpi(self.profile.base_cpi());
+        drop(model_prof);
 
         // --- Tracking + policy state. ---
         let (t0, tracking) = match self.config.migration {
@@ -210,8 +227,10 @@ impl Runner {
             entries: 64,
             counter_bits: if t0 { 0 } else { 16 },
         };
+        let tracker_prof = ProfScope::enter(Site::Tlb);
         let mut tlbs: Vec<Tlb> = (0..n_sockets * cps).map(|_| Tlb::new(tlb_cfg)).collect();
         let mut meta = MetadataRegion::new(num_regions, n_sockets, tlb_cfg.counter_bits);
+        drop(tracker_prof);
         let mut rng = SimRng::seed_from_u64(self.config.seed ^ 0x6d69_6772);
 
         // --- Warm-up (populates LLCs/directory; no stats, no migration). ---
@@ -243,25 +262,36 @@ impl Runner {
         let mut prev_dir = sim.directory_stats();
         for _phase in 0..self.config.phases {
             obs.begin_phase(_phase as u32);
-            let trace = gen.generate_phase(self.config.instructions_per_phase);
+            starnuma_prof::set_phase(_phase as u32);
+            let trace = {
+                let _prof = ProfScope::enter(Site::TraceGen);
+                gen.generate_phase(self.config.instructions_per_phase)
+            };
 
             // Snapshot the phase-start placement before step B mutates the
             // live map (the checkpoint of §IV-A2).
-            let snapshot = map.clone();
+            let snapshot = {
+                let _prof = ProfScope::enter(Site::Checkpoint);
+                map.clone()
+            };
 
             // Step B: tracking + migration decisions.
+            let step_b_prof = ProfScope::enter(Site::MigrationPolicy);
             let plan = match self.config.migration {
                 MigrationMode::Threshold { .. } if tracking => {
-                    for tlb in &mut tlbs {
-                        tlb.set_markers();
-                    }
-                    for (core_idx, stream) in trace.per_core.iter().enumerate() {
-                        let socket = CoreId::new(core_idx as u32).socket(cps);
-                        let tlb = &mut tlbs[core_idx];
-                        for a in stream {
-                            for f in tlb.record_llc_miss(a.addr.page()) {
-                                if f.page.pfn() < fp {
-                                    meta.record(f.page.region(), socket, f.count);
+                    {
+                        let _prof = ProfScope::enter(Site::Tlb);
+                        for tlb in &mut tlbs {
+                            tlb.set_markers();
+                        }
+                        for (core_idx, stream) in trace.per_core.iter().enumerate() {
+                            let socket = CoreId::new(core_idx as u32).socket(cps);
+                            let tlb = &mut tlbs[core_idx];
+                            for a in stream {
+                                for f in tlb.record_llc_miss(a.addr.page()) {
+                                    if f.page.pfn() < fp {
+                                        meta.record(f.page.region(), socket, f.count);
+                                    }
                                 }
                             }
                         }
@@ -294,10 +324,12 @@ impl Runner {
                 }
                 _ => Default::default(),
             };
+            drop(step_b_prof);
 
             // §V-F replication decisions (perfect region tracking: which
             // regions were read-only and widely shared this phase).
             if let Some(reps) = &mut replicas {
+                let _prof = ProfScope::enter(Site::MigrationPolicy);
                 let mut perfect = MetadataRegion::new(num_regions, n_sockets, 16);
                 for a in trace.iter() {
                     let region = a.addr.page().region();
@@ -331,6 +363,7 @@ impl Runner {
                 "phase_checkpoint",
                 || {
                     vec![
+                        ("edge", FieldValue::Str("begin".to_string())),
                         ("planned_moves", FieldValue::U64(plan.moves.len() as u64)),
                         ("modeled_moves", FieldValue::U64(modeled_count as u64)),
                         ("budget_pages", FieldValue::U64(budget_pages as u64)),
@@ -361,6 +394,7 @@ impl Runner {
             // frame (links/DRAM reset each phase, so their stats *are* the
             // phase deltas; LLCs and directory accumulate, so subtract).
             if obs.is_enabled() {
+                let _prof = ProfScope::enter(Site::ObsExport);
                 let llc_now = sim.llc_stats();
                 obs.observe(
                     "llc",
@@ -396,8 +430,18 @@ impl Runner {
             }
             sim.reset_servers();
             phase_stats.push(stats);
+            // Close the checkpoint span opened above: the matching "end"
+            // edge lets the Chrome exporter pair the two into a duration
+            // event spanning the phase's step-C work.
+            obs.event(
+                EventLevel::Info,
+                EventCategory::Checkpoint,
+                "phase_checkpoint",
+                || vec![("edge", FieldValue::Str("end".to_string()))],
+            );
             obs.end_phase();
         }
+        starnuma_prof::clear_phase();
 
         let (migrated, to_pool) = match self.config.migration {
             MigrationMode::Threshold { .. } => (policy.pages_migrated, policy.pages_to_pool),

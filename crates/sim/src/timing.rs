@@ -20,6 +20,7 @@ use starnuma_coherence::{Directory, TransferKind};
 use starnuma_mem::{DramTimings, FifoServer, MemoryModule};
 use starnuma_migration::{MigrationCosts, PageMap, PageMove, ReplicaMap};
 use starnuma_obs::ObsSink;
+use starnuma_prof::{ProfScope, Site};
 use starnuma_topology::{AccessClass, Network};
 use starnuma_trace::PhaseTrace;
 use starnuma_types::{Cycles, DetMap, GbPerSec, Location, MemAccess, PageId, SocketId};
@@ -261,6 +262,9 @@ impl TimingSim {
         mut replicas: Option<&mut ReplicaMap>,
         obs: &mut ObsSink,
     ) -> PhaseStats {
+        // One scope for the whole step-C replay; the per-access substrate
+        // scopes in `one_access` nest under it.
+        let _prof = ProfScope::enter(Site::Timing);
         let mut stats = PhaseStats::default();
         // --- Schedule the modeled migrations (serialized on the initiator,
         // 3 k cycles per page; data moves over the interconnect). A page in
@@ -454,33 +458,50 @@ impl TimingSim {
         let socket = a.core.socket(self.cores_per_socket);
         let block = a.addr.block();
         // LLC filter + dirty/eviction tracking.
-        match self.llcs[socket.index() as usize].access(block, a.kind.is_write()) {
+        let outcome = {
+            let _prof = ProfScope::enter(Site::Llc);
+            self.llcs[socket.index() as usize].access(block, a.kind.is_write())
+        };
+        match outcome {
             CacheOutcome::Hit => {
                 return (true, AccessClass::Local, 0.0, 0);
             }
             CacheOutcome::Miss { evicted } => {
                 if let Some((victim, dirty)) = evicted {
-                    self.dir.evict(victim, socket, dirty);
+                    {
+                        let _prof = ProfScope::enter(Site::Directory);
+                        self.dir.evict(victim, socket, dirty);
+                    }
                     if dirty && victim.page().pfn() < map.len() {
                         // Writeback traffic to the victim's home (off the
                         // critical path; consumes bandwidth + a DRAM write).
                         let home = map.location(victim.page());
-                        for link in self.net.leg(Location::Socket(socket), home) {
-                            self.links[link.index()].enqueue(now, DATA_BYTES);
+                        {
+                            let _prof = ProfScope::enter(Site::Coherence);
+                            for link in self.net.leg(Location::Socket(socket), home) {
+                                self.links[link.index()].enqueue(now, DATA_BYTES);
+                            }
                         }
+                        let _prof = ProfScope::enter(Site::Dram);
                         self.memory_contention(now, home, victim);
                     }
                 }
             }
         }
         let home = home_override.unwrap_or_else(|| map.location(a.addr.page()));
-        let coh = self.dir.access(block, socket, a.kind.is_write(), home);
+        let coh = {
+            let _prof = ProfScope::enter(Site::Directory);
+            self.dir.access(block, socket, a.kind.is_write(), home)
+        };
         // Invalidations: traffic + back-invalidation of remote LLC copies
         // (off the critical path, as writes complete on ownership grant).
-        for inv in &coh.invalidations {
-            self.llcs[inv.index() as usize].invalidate(block);
-            for link in self.net.leg(home, Location::Socket(*inv)) {
-                self.links[link.index()].enqueue(now, REQ_BYTES);
+        if !coh.invalidations.is_empty() {
+            let _prof = ProfScope::enter(Site::Coherence);
+            for inv in &coh.invalidations {
+                self.llcs[inv.index() as usize].invalidate(block);
+                for link in self.net.leg(home, Location::Socket(*inv)) {
+                    self.links[link.index()].enqueue(now, REQ_BYTES);
+                }
             }
         }
         let lat = self.net.latency().clone();
@@ -497,12 +518,21 @@ impl TimingSim {
                 // across links into a runaway feedback).
                 let _ = req_prop;
                 let mut wait = 0u64;
-                for link in self.net.leg(src, home) {
-                    wait += self.links[link.index()].enqueue(now, REQ_BYTES).raw();
+                {
+                    let _prof = ProfScope::enter(Site::Coherence);
+                    for link in self.net.leg(src, home) {
+                        wait += self.links[link.index()].enqueue(now, REQ_BYTES).raw();
+                    }
                 }
-                wait += self.memory_contention(now, home, block);
-                for link in self.net.leg(home, src) {
-                    wait += self.links[link.index()].enqueue(now, DATA_BYTES).raw();
+                {
+                    let _prof = ProfScope::enter(Site::Dram);
+                    wait += self.memory_contention(now, home, block);
+                }
+                {
+                    let _prof = ProfScope::enter(Site::Coherence);
+                    for link in self.net.leg(home, src) {
+                        wait += self.links[link.index()].enqueue(now, DATA_BYTES).raw();
+                    }
                 }
                 let measured = unloaded.to_cycles().raw() + wait;
                 (false, class, unloaded.raw(), measured)
@@ -538,9 +568,12 @@ impl TimingSim {
                 // the home's coherence directory is SRAM (its 20 ns lookup is
                 // part of the unloaded latency, Fig. 3 / §V-A accounting).
                 let mut wait = 0u64;
-                for (from, to, bytes) in legs {
-                    for link in self.net.leg(from, to) {
-                        wait += self.links[link.index()].enqueue(now, bytes).raw();
+                {
+                    let _prof = ProfScope::enter(Site::Coherence);
+                    for (from, to, bytes) in legs {
+                        for link in self.net.leg(from, to) {
+                            wait += self.links[link.index()].enqueue(now, bytes).raw();
+                        }
                     }
                 }
                 let measured = unloaded_ns.to_cycles().raw() + wait;

@@ -18,17 +18,19 @@ use starnuma::obs::{metrics_json, trace_jsonl, RunMeta};
 use starnuma::{set_global_jobs, Experiment, ScaleConfig, SystemKind, Workload};
 
 /// Golden FNV-1a digests of `(RunResult debug, trace JSONL, metrics JSON)`
-/// per workload, recorded on the BTreeMap baseline. Order follows
-/// `Workload::ALL`.
+/// per workload. Order follows `Workload::ALL`. Last blessed when the
+/// `phase_checkpoint` journal event gained paired begin/end `edge`
+/// markers (an intentional trace-format change; results were unchanged —
+/// `prof_determinism` guards that separately).
 const GOLDEN: [(&str, u64); 8] = [
-    ("SSSP", 0x14e45f75e00a2e51),
-    ("BFS", 0x33c934fe36debf4f),
-    ("CC", 0x0d2713fa31d93280),
-    ("TC", 0xb83222b8855fc990),
-    ("Masstree", 0x6f84c543e6336979),
-    ("TPCC", 0x808d44fb849e69f9),
-    ("FMI", 0xdab1b4fefa459185),
-    ("POA", 0x2ed1730a09a044d8),
+    ("SSSP", 0x5e9e055a702c2421),
+    ("BFS", 0x827893079d93b9f1),
+    ("CC", 0x376fb4797964dabe),
+    ("TC", 0x631c9e5758b24d70),
+    ("Masstree", 0xa15f49dc35cd8da3),
+    ("TPCC", 0xb6016fe329e84dad),
+    ("FMI", 0xd70cb127a163a8f9),
+    ("POA", 0xd09527d41dee0dfe),
 ];
 
 fn tiny() -> ScaleConfig {
