@@ -1,0 +1,249 @@
+//! Safe auto-fixes for `starnuma lint --fix`.
+//!
+//! Only rewrites with a clear semantic story are applied:
+//!
+//! * **SN003** — `HashMap` → `DetMap` on the finding line, including the
+//!   `use std::collections::HashMap` import and qualified
+//!   `std::collections::HashMap` paths. (`HashSet` has no drop-in
+//!   deterministic twin, so it is left for a human or `--fix-allow`.)
+//! * **SN004** — insert the missing crate-root attributes after the
+//!   leading `//!` doc block.
+//! * **SN011** — `.sort_unstable_by(` → `.sort_by(` and
+//!   `.sort_unstable_by_key(` → `.sort_by_key(` (stable sorts accept the
+//!   same closures; only the tie behavior changes, toward determinism).
+//!
+//! With `fix_allow`, every *remaining* finding gets an
+//! `// audit:allow(SNxxx)` marker line inserted above it — an explicit,
+//! reviewable suppression rather than a silent one.
+//!
+//! Fixes never touch a path outside the scanned root: locations are
+//! workspace-relative by construction and re-anchored under `root`, and
+//! anything absolute or containing `..` is rejected.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use starnuma_types::{Diagnostic, StarNumaError};
+
+/// What a fix run changed.
+#[derive(Debug, Default)]
+pub struct FixReport {
+    /// Workspace-relative paths of files rewritten.
+    pub files_changed: Vec<String>,
+    /// How many safe rewrites were applied.
+    pub rewrites: usize,
+    /// How many `audit:allow` markers were inserted (`--fix-allow`).
+    pub allows_inserted: usize,
+}
+
+/// Applies fixes for `findings` to files under `root`. Pass the safe
+/// rewrites first; call again with `fix_allow = true` (and the re-linted
+/// remaining findings) to insert suppression markers.
+///
+/// # Errors
+///
+/// Returns [`StarNumaError::Io`] when a target file cannot be read or
+/// written, or when a finding's location would escape `root`.
+pub fn apply_fixes(
+    root: &Path,
+    findings: &[Diagnostic],
+    fix_allow: bool,
+) -> Result<FixReport, StarNumaError> {
+    // Group line findings per file; non-file locations (model validation)
+    // have nothing to rewrite.
+    let mut per_file: BTreeMap<String, Vec<(usize, &Diagnostic)>> = BTreeMap::new();
+    for d in findings {
+        let Some((path, line)) = d.location.rsplit_once(':') else {
+            continue;
+        };
+        let Ok(line) = line.parse::<usize>() else {
+            continue;
+        };
+        check_inside_root(path)?;
+        per_file
+            .entry(path.to_string())
+            .or_default()
+            .push((line, d));
+    }
+
+    let mut report = FixReport::default();
+    for (rel, mut sites) in per_file {
+        let abs = root.join(&rel);
+        let source = fs::read_to_string(&abs)
+            .map_err(|e| StarNumaError::Io(format!("{}: {e}", abs.display())))?;
+        let had_final_newline = source.ends_with('\n');
+        let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let mut changed = false;
+
+        // Bottom-up so insertions never shift unprocessed line numbers.
+        sites.sort_by_key(|s| std::cmp::Reverse(s.0));
+        for (line_no, d) in sites {
+            let idx = line_no.saturating_sub(1);
+            if idx >= lines.len() {
+                continue;
+            }
+            let applied = match d.code {
+                "SN003" => fix_sn003(&mut lines[idx]),
+                "SN011" => fix_sn011(&mut lines[idx]),
+                "SN004" => {
+                    let n = fix_sn004(&mut lines, &d.message);
+                    report.rewrites += n;
+                    n > 0
+                }
+                _ => false,
+            };
+            if applied {
+                if d.code != "SN004" {
+                    report.rewrites += 1;
+                }
+                changed = true;
+            } else if fix_allow {
+                let indent: String = lines[idx]
+                    .chars()
+                    .take_while(|c| c.is_whitespace())
+                    .collect();
+                let comment = if rel.ends_with(".toml") { "#" } else { "//" };
+                lines.insert(
+                    idx,
+                    format!(
+                        "{indent}{comment} audit:allow({}) accepted by lint --fix-allow",
+                        d.code
+                    ),
+                );
+                report.allows_inserted += 1;
+                changed = true;
+            }
+        }
+
+        if changed {
+            let mut out = lines.join("\n");
+            if had_final_newline {
+                out.push('\n');
+            }
+            fs::write(&abs, out)
+                .map_err(|e| StarNumaError::Io(format!("{}: {e}", abs.display())))?;
+            report.files_changed.push(rel);
+        }
+    }
+    Ok(report)
+}
+
+fn check_inside_root(rel: &str) -> Result<(), StarNumaError> {
+    let p = Path::new(rel);
+    if p.is_absolute() || rel.split(['/', '\\']).any(|c| c == "..") {
+        return Err(StarNumaError::Io(format!(
+            "refusing to fix location outside the scanned root: {rel}"
+        )));
+    }
+    Ok(())
+}
+
+/// `HashMap` → `DetMap` on one line. Returns whether anything changed.
+fn fix_sn003(line: &mut String) -> bool {
+    if !line.contains("HashMap") {
+        return false; // HashSet-only line: no safe rewrite.
+    }
+    let mut fixed = line.replace("std::collections::HashMap", "starnuma_types::DetMap");
+    fixed = fixed.replace("HashMap", "DetMap");
+    let changed = fixed != *line;
+    *line = fixed;
+    changed
+}
+
+/// Keyed unstable sorts → stable sorts on one line.
+fn fix_sn011(line: &mut String) -> bool {
+    let fixed = line
+        .replace(".sort_unstable_by_key(", ".sort_by_key(")
+        .replace(".sort_unstable_by(", ".sort_by(");
+    let changed = fixed != *line;
+    *line = fixed;
+    changed
+}
+
+/// Inserts the crate-root attribute named in an SN004 message after the
+/// leading `//!` doc block. Returns how many lines were inserted.
+fn fix_sn004(lines: &mut Vec<String>, message: &str) -> usize {
+    let Some(attr) = message.split('`').nth(1).filter(|a| a.starts_with("#![")) else {
+        return 0;
+    };
+    if lines.iter().any(|l| l.contains(attr)) {
+        return 0;
+    }
+    let mut at = 0usize;
+    for (i, l) in lines.iter().enumerate() {
+        let t = l.trim_start();
+        if t.starts_with("//!") || t.is_empty() || t.starts_with("#![") {
+            at = i + 1;
+        } else {
+            break;
+        }
+    }
+    lines.insert(at, attr.to_string());
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_lines_are_rewritten_to_detmap() {
+        let mut l = "use std::collections::HashMap;".to_string();
+        assert!(fix_sn003(&mut l));
+        assert_eq!(l, "use starnuma_types::DetMap;");
+        let mut l2 = "    entries: HashMap<u64, u32>,".to_string();
+        assert!(fix_sn003(&mut l2));
+        assert_eq!(l2, "    entries: DetMap<u64, u32>,");
+        let mut l3 = "    sharers: HashSet<u64>,".to_string();
+        assert!(!fix_sn003(&mut l3));
+    }
+
+    #[test]
+    fn keyed_unstable_sorts_become_stable() {
+        let mut l = "    v.sort_unstable_by_key(|e| e.0);".to_string();
+        assert!(fix_sn011(&mut l));
+        assert_eq!(l, "    v.sort_by_key(|e| e.0);");
+        let mut l2 = "    v.sort_unstable_by(|a, b| a.cmp(b));".to_string();
+        assert!(fix_sn011(&mut l2));
+        assert_eq!(l2, "    v.sort_by(|a, b| a.cmp(b));");
+    }
+
+    #[test]
+    fn sn004_inserts_after_doc_block() {
+        let mut lines: Vec<String> = ["//! Crate docs.", "//! More.", "", "pub fn x() {}"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let n = fix_sn004(
+            &mut lines,
+            "crate root is missing `#![forbid(unsafe_code)]`",
+        );
+        assert_eq!(n, 1);
+        assert_eq!(lines[3], "#![forbid(unsafe_code)]");
+    }
+
+    #[test]
+    fn locations_outside_root_are_rejected() {
+        let d = Diagnostic::error("SN003", "../escape.rs:1", "m", "h");
+        let err = apply_fixes(Path::new("/tmp"), &[d], false);
+        assert!(err.is_err());
+        let d2 = Diagnostic::error("SN003", "/abs/path.rs:1", "m", "h");
+        assert!(apply_fixes(Path::new("/tmp"), &[d2], false).is_err());
+    }
+
+    #[test]
+    fn fix_allow_inserts_marker_with_matching_indent() {
+        let dir = std::env::temp_dir().join("starnuma-audit-fix-test");
+        let src_dir = dir.join("src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        let file = src_dir.join("m.rs");
+        std::fs::write(&file, "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n").unwrap();
+        let d = Diagnostic::error("SN001", "src/m.rs:2", "`unwrap()` in library code", "h");
+        let report = apply_fixes(&dir, &[d], true).unwrap();
+        assert_eq!(report.allows_inserted, 1);
+        let out = std::fs::read_to_string(&file).unwrap();
+        assert!(out.contains("    // audit:allow(SN001)"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

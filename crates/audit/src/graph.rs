@@ -1,0 +1,192 @@
+//! The workspace item graph.
+//!
+//! Built from every file's [`FileFacts`], the graph knows three things the
+//! per-file passes cannot:
+//!
+//! * **Crate edges** — which crate `use`s which, from `starnuma_*` import
+//!   paths. (Topology context for reports; cycles would be a build error
+//!   anyway.)
+//! * **A fn-name index** — callee name → defining (file, fn) pairs, the
+//!   cheap stand-in for real call resolution a zero-dependency analyzer
+//!   can afford.
+//! * **Boundary fns** — functions whose results cross a merge/export
+//!   boundary (named like `merge`/`export`/`to_json`/…, plus everything
+//!   they transitively call, two hops deep). SN006 only fires at these:
+//!   iterating a `DetMap` in arbitrary order deep inside a simulation
+//!   kernel is fine as long as the order never escapes into output.
+
+use std::collections::BTreeMap;
+
+use crate::items::{FileFacts, FnFact};
+
+/// Name stems that mark a fn as sitting on a merge/export boundary.
+pub const BOUNDARY_STEMS: &[&str] = &[
+    "merge",
+    "export",
+    "flush",
+    "drain",
+    "report",
+    "render",
+    "emit",
+    "to_json",
+    "write",
+    "serialize",
+    "checkpoint",
+];
+
+/// How many call hops below a boundary fn still count as boundary code.
+const BOUNDARY_DEPTH: usize = 2;
+
+/// The workspace-wide item graph over a set of file facts.
+pub struct ItemGraph<'a> {
+    files: &'a [FileFacts],
+    /// `boundary[file][fn]` — whether that fn is boundary code.
+    boundary: Vec<Vec<bool>>,
+}
+
+impl<'a> ItemGraph<'a> {
+    /// Builds the graph. `files` must already be in the workspace's
+    /// deterministic (sorted-path) order.
+    pub fn build(files: &'a [FileFacts]) -> ItemGraph<'a> {
+        // Callee name -> every (file, fn) defining that name.
+        let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ji, f) in file.fns.iter().enumerate() {
+                by_name.entry(f.name.as_str()).or_default().push((fi, ji));
+            }
+        }
+        let mut boundary: Vec<Vec<bool>> = files
+            .iter()
+            .map(|f| f.fns.iter().map(is_boundary_name).collect())
+            .collect();
+        // Propagate boundary-ness down call edges a bounded number of
+        // hops: what a boundary fn calls also produces escaping order.
+        for _ in 0..BOUNDARY_DEPTH {
+            let mut next = boundary.clone();
+            for (fi, file) in files.iter().enumerate() {
+                for (ji, f) in file.fns.iter().enumerate() {
+                    if !boundary[fi][ji] {
+                        continue;
+                    }
+                    for call in &f.calls {
+                        if let Some(defs) = by_name.get(call.as_str()) {
+                            for &(dfi, dji) in defs {
+                                next[dfi][dji] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if next == boundary {
+                break;
+            }
+            boundary = next;
+        }
+        ItemGraph { files, boundary }
+    }
+
+    /// Whether fn `ji` of file `fi` sits on a merge/export boundary.
+    pub fn is_boundary(&self, fi: usize, ji: usize) -> bool {
+        self.boundary
+            .get(fi)
+            .and_then(|f| f.get(ji))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Cross-crate `use` edges `(from_crate, to_crate)`, deduped and
+    /// sorted. Crate names are directory names (`types`, `sim`, …).
+    pub fn crate_edges(&self) -> Vec<(String, String)> {
+        let mut edges = Vec::new();
+        for file in self.files {
+            for u in &file.uses {
+                if let Some(rest) = u.path.strip_prefix("starnuma_") {
+                    let dep: String = rest
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric())
+                        .collect();
+                    if !dep.is_empty() && dep != file.crate_name {
+                        edges.push((file.crate_name.clone(), dep));
+                    }
+                }
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        edges
+    }
+
+    /// Per-crate item counts `(crate, files, fns)`, sorted by crate name —
+    /// a cheap summary for reports and tests.
+    pub fn crate_summary(&self) -> Vec<(String, usize, usize)> {
+        let mut per: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for file in self.files {
+            let e = per.entry(file.crate_name.as_str()).or_default();
+            e.0 += 1;
+            e.1 += file.fns.len();
+        }
+        per.into_iter()
+            .map(|(k, (f, n))| (k.to_string(), f, n))
+            .collect()
+    }
+}
+
+fn is_boundary_name(f: &FnFact) -> bool {
+    BOUNDARY_STEMS.iter().any(|s| f.name.contains(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::lexer::lex;
+
+    fn file(path: &str, crate_name: &str, src: &str) -> FileFacts {
+        extract(path, crate_name, false, &lex(src))
+    }
+
+    #[test]
+    fn boundary_names_seed_and_calls_propagate() {
+        let a = file(
+            "a.rs",
+            "sim",
+            "pub fn export_stats() { collect(); }\nfn collect() { deep(); }\nfn deep() {}\nfn unrelated() {}\n",
+        );
+        let files = vec![a];
+        let g = ItemGraph::build(&files);
+        assert!(g.is_boundary(0, 0), "export_stats is a boundary by name");
+        assert!(g.is_boundary(0, 1), "collect is called from a boundary");
+        assert!(g.is_boundary(0, 2), "deep is two hops below a boundary");
+        assert!(!g.is_boundary(0, 3), "unrelated stays interior");
+    }
+
+    #[test]
+    fn crate_edges_come_from_starnuma_imports() {
+        let a = file(
+            "a.rs",
+            "sim",
+            "use starnuma_types::DetMap;\nuse std::fmt;\n",
+        );
+        let b = file("b.rs", "obs", "use starnuma_types::Diagnostic;\n");
+        let files = vec![a, b];
+        let g = ItemGraph::build(&files);
+        assert_eq!(
+            g.crate_edges(),
+            vec![
+                ("obs".to_string(), "types".to_string()),
+                ("sim".to_string(), "types".to_string())
+            ]
+        );
+        let summary = g.crate_summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].0, "obs");
+    }
+
+    #[test]
+    fn self_edges_are_not_reported() {
+        let a = file("a.rs", "types", "use starnuma_types::DetMap;\n");
+        let files = vec![a];
+        let g = ItemGraph::build(&files);
+        assert!(g.crate_edges().is_empty());
+    }
+}

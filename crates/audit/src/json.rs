@@ -1,0 +1,328 @@
+//! A minimal JSON value: parse and render, no dependencies.
+//!
+//! The audit layer reads and writes several JSON artifacts — the
+//! incremental cache (`target/audit-cache.json`), the suppression baseline
+//! (`ci/lint_baseline.json`), and the SARIF report — and the obs crate's
+//! flat-object parser cannot represent them (they nest). This module is a
+//! small recursive-descent parser plus a deterministic renderer: objects
+//! keep insertion order, numbers render like Rust's `{}` for `f64`, and
+//! strings escape exactly like [`starnuma_types::json_escape`].
+
+use starnuma_types::json_escape;
+
+/// A parsed JSON value. Objects preserve insertion order so a
+/// parse→render round trip is stable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string (unescaped content).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value under `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, when this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&json_escape(s));
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&json_escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document. Returns `None` on any syntax error
+    /// or trailing garbage — a corrupt cache or baseline must read as
+    /// "absent", never as a partial document.
+    pub fn parse(text: &str) -> Option<JsonValue> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => parse_obj(bytes, pos),
+        b'[' => parse_arr(bytes, pos),
+        b'"' => parse_str(bytes, pos).map(JsonValue::Str),
+        b't' => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        b'f' => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        b'n' => parse_lit(bytes, pos, "null", JsonValue::Null),
+        _ => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: JsonValue) -> Option<JsonValue> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(JsonValue::Num)
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).ok();
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        let c = char::from_u32(code)?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            &b => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(JsonValue::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return None;
+        }
+        *pos += 1;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(JsonValue::Obj(fields));
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Convenience constructor for an object field list.
+pub fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_documents() {
+        let src = r#"{"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":"q\"uote"}"#;
+        let v = JsonValue::parse(src).expect("parses");
+        assert_eq!(JsonValue::parse(&v.render()), Some(v.clone()));
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")),
+            Some(&JsonValue::Bool(true))
+        );
+        assert_eq!(v.get("a").and_then(|a| a.as_arr()).map(<[_]>::len), Some(3));
+        assert_eq!(v.get("e").and_then(JsonValue::as_str), Some("q\"uote"));
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(JsonValue::parse("{\"a\": }"), None);
+        assert_eq!(JsonValue::parse("[1, 2"), None);
+        assert_eq!(JsonValue::parse("{} trailing"), None);
+        assert_eq!(JsonValue::parse(""), None);
+        assert_eq!(JsonValue::parse("{\"a\"}"), None);
+    }
+
+    #[test]
+    fn numbers_render_integers_without_decimal_point() {
+        assert_eq!(JsonValue::Num(3.0).render(), "3");
+        assert_eq!(JsonValue::Num(3.5).render(), "3.5");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        let v = JsonValue::parse("[-1.5e3, 17]").expect("parses");
+        assert_eq!(v.as_arr().map(|a| a[0].as_num()), Some(Some(-1500.0)));
+    }
+
+    #[test]
+    fn escapes_survive_round_trip() {
+        let v = JsonValue::Str("line\nbreak\ttab \"quote\" back\\slash".into());
+        assert_eq!(JsonValue::parse(&v.render()), Some(v));
+        assert_eq!(
+            JsonValue::parse(r#""Aé""#),
+            Some(JsonValue::Str("Aé".into()))
+        );
+    }
+
+    #[test]
+    fn unicode_escape_rejects_bad_hex() {
+        assert_eq!(JsonValue::parse(r#""\uzzzz""#), None);
+    }
+}

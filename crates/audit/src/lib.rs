@@ -1,34 +1,46 @@
 //! Zero-dependency static analysis for the StarNUMA workspace.
 //!
-//! Two passes keep the reproduction trustworthy:
+//! The analyzer runs in layers:
 //!
-//! * **Pass 1 — source lints** ([`scanner`]): a line/token scanner over the
-//!   workspace's own `.rs` files enforcing repo-specific rules that generic
-//!   tools cannot know:
+//! * **Lexer** ([`lexer`]): a real Rust token lexer — nested block
+//!   comments, raw strings, char literals, lifetimes — whose token
+//!   concatenation round-trips the source exactly. Lints match over
+//!   reconstructed *code lines*, so a token hiding in a multi-line
+//!   comment or a raw string can never fire (or be hidden from) a rule.
+//! * **Item facts** ([`items`]) and the **workspace graph** ([`graph`]):
+//!   per-file `use` edges, fn items with call/iteration sites,
+//!   `DetMap`-typed bindings, and the cross-file call closure that marks
+//!   merge/export boundary fns.
+//! * **Lint passes** ([`lints`]):
 //!   - **SN001** — no `unwrap()` / `expect()` / `panic!` in non-test
-//!     library code (bad configs must surface as typed errors, not mid-run
-//!     aborts);
-//!   - **SN002** — no wall-clock types (bare `Instant` / `SystemTime`,
-//!     matched on identifier boundaries) in simulation crates — simulated
-//!     time only; the `starnuma-prof` clock internals are the allow-listed
-//!     exception;
-//!   - **SN003** — no `HashMap` / `HashSet` in non-test code (iteration
-//!     order leaks into stats; use `BTreeMap` / `BTreeSet` or sorted
-//!     drains);
-//!   - **SN004** — every crate root carries `#![forbid(unsafe_code)]` and
+//!     library code;
+//!   - **SN002** — no wall-clock types (bare `Instant` / `SystemTime`) in
+//!     simulation crates;
+//!   - **SN003** — no `HashMap` / `HashSet` in non-test code;
+//!   - **SN004** — crate roots carry `#![forbid(unsafe_code)]` and
 //!     `#![warn(missing_docs)]`;
-//!   - **SN005** — no direct `println!` / `eprintln!` in library crates
-//!     (operator-visible output flows through the obs event journal; only
-//!     the CLI, the bench harness, and the obs exporters print).
+//!   - **SN005** — no direct `println!` / `eprintln!` in library crates;
+//!   - **SN006** — no insertion-order `DetMap` iteration escaping through
+//!     a merge/export boundary without canonicalization;
+//!   - **SN007** — float reduction loops state a canonical order;
+//!   - **SN008** — no thread-id / `available_parallelism` reads in
+//!     simulation crates;
+//!   - **SN009** — no narrowing `as` casts in the sim/types crates;
+//!   - **SN010** — public sim APIs return order-stable `Vec`s;
+//!   - **SN011** — no keyed `sort_unstable` (ties reorder freely);
+//!   - **SN012** — `Cargo.toml` drift: non-workspace dependencies,
+//!     bin roots without `forbid(unsafe_code)`.
+//! * **Workflow** ([`workspace`], [`baseline`], [`cache`], [`sarif`],
+//!   [`fixes`]): an incremental digest-keyed cache, a checked-in
+//!   suppression baseline, SARIF 2.1.0 emission for CI, and safe
+//!   auto-fixes.
 //!
-//! * **Pass 2 — model validation**: the `diagnostics()` methods on
-//!   `SystemParams`, `PolicyConfig`, `MigrationCosts`, and `RunConfig`
-//!   (living next to those types) check physical consistency before a run
-//!   starts and report through the same [`starnuma_types::Diagnostic`]
-//!   type, with `SN1xx` codes.
+//! Model validation (**SN1xx**) lives with the config types themselves:
+//! their `diagnostics()` methods report through the same
+//! [`starnuma_types::Diagnostic`] type.
 //!
 //! False positives are suppressed with a `// audit:allow(SNxxx)` marker on
-//! the offending line or the line above it.
+//! the offending line or the line above it (`#` comments in manifests).
 //!
 //! # Examples
 //!
@@ -43,8 +55,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod cache;
+pub mod fixes;
+pub mod graph;
+pub mod items;
+pub mod json;
+pub mod lexer;
+pub mod lints;
 mod report;
-mod scanner;
+pub mod sarif;
+pub mod workspace;
 
-pub use report::{render_human, render_json};
-pub use scanner::{lint_source, lint_workspace, println_exempt, wallclock_exempt};
+pub use baseline::Baseline;
+pub use fixes::{apply_fixes, FixReport};
+pub use lints::source::lint_source;
+pub use lints::{println_exempt, wallclock_exempt};
+pub use report::{render_human, render_json, render_json_report, REPORT_SCHEMA_VERSION};
+pub use sarif::render_sarif;
+pub use workspace::{lint_workspace, lint_workspace_with, LintOptions, LintOutcome};

@@ -1,0 +1,176 @@
+//! Manifest drift lints (SN012) over `Cargo.toml` files.
+//!
+//! The workspace's dependency policy is structural: every crate depends on
+//! sibling crates through `workspace = true` entries resolved by the root
+//! manifest's path-only `[workspace.dependencies]` table, and every build
+//! target forbids `unsafe_code` at its root. This pass parses just enough
+//! TOML (sections, `key = value` lines, inline tables) to catch drift:
+//! a crates.io dependency sneaking in, or a `main.rs` without the forbid.
+//!
+//! Suppression uses TOML comments: `# audit:allow(SN012)` on the line or
+//! the line above.
+
+use std::fs;
+use std::path::Path;
+
+use starnuma_types::Diagnostic;
+
+/// Section headers whose entries are dependencies.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Lints one manifest's text. `label` names it in diagnostics.
+pub fn lint_manifest_source(label: &str, source: &str) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    let mut prev_allowed = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let allowed_here = raw.contains("audit:allow(SN012)");
+        let allowed = allowed_here || prev_allowed;
+        prev_allowed = allowed_here;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        if !DEP_SECTIONS.contains(&section.as_str()) {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        // `foo.workspace = true` and `foo = { workspace = true }` both
+        // delegate to the root table; `path = …` entries are in-repo.
+        let is_workspace_ref = name.ends_with(".workspace") && value == "true"
+            || value.contains("workspace = true")
+            || value.contains("workspace=true");
+        let is_path_dep = value.contains("path =") || value.contains("path=");
+        if !is_workspace_ref && !is_path_dep && !allowed {
+            findings.push(Diagnostic::error(
+                "SN012",
+                format!("{label}:{line_no}"),
+                format!(
+                    "dependency `{}` in [{section}] is not a workspace/path \
+                     dependency",
+                    name.trim_end_matches(".workspace")
+                ),
+                "route shared deps through [workspace.dependencies] with a \
+                 path (the workspace is zero-external-dependency by design), \
+                 or mark `# audit:allow(SN012)`",
+            ));
+        }
+    }
+    findings
+}
+
+/// Lints every manifest under `root` (the root `Cargo.toml` plus each
+/// `crates/*/Cargo.toml`), and checks that every build-target root
+/// (`src/main.rs` next to a manifest) carries `#![forbid(unsafe_code)]` —
+/// `lib.rs` roots are already covered by SN004.
+pub fn lint_manifests(root: &Path) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    let mut manifest_dirs = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        dirs.sort();
+        manifest_dirs.extend(dirs);
+    }
+    for dir in manifest_dirs {
+        let manifest = dir.join("Cargo.toml");
+        let Ok(text) = fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let label = manifest
+            .strip_prefix(root)
+            .unwrap_or(&manifest)
+            .to_string_lossy()
+            .into_owned();
+        findings.extend(lint_manifest_source(&label, &text));
+        let main_rs = dir.join("src").join("main.rs");
+        if let Ok(main_src) = fs::read_to_string(&main_rs) {
+            // Check *code*, not raw text: an attribute named inside a doc
+            // comment must not satisfy the rule, and an allow marker is
+            // only honored in a real comment.
+            let tokens = crate::lexer::lex(&main_src);
+            let code = crate::lexer::code_lines(&main_src, &tokens).join("\n");
+            let allowed = crate::lexer::allow_lines(&tokens)
+                .iter()
+                .any(|(_, c)| c == "SN012");
+            if !code.contains("#![forbid(unsafe_code)]") && !allowed {
+                let main_label = main_rs
+                    .strip_prefix(root)
+                    .unwrap_or(&main_rs)
+                    .to_string_lossy()
+                    .into_owned();
+                findings.push(Diagnostic::error(
+                    "SN012",
+                    format!("{main_label}:1"),
+                    "binary root is missing `#![forbid(unsafe_code)]`",
+                    "bin targets are crate roots too; add the attribute \
+                     below the crate-level doc comment",
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_and_path_deps_are_clean() {
+        let src = "[package]\nname = \"x\"\n\n[dependencies]\nstarnuma-types = { workspace = true }\nstarnuma-sim.workspace = true\nlocal = { path = \"../local\" }\n";
+        assert!(lint_manifest_source("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn external_deps_are_flagged() {
+        let src = "[dependencies]\nserde = \"1.0\"\nrand = { version = \"0.8\" }\n";
+        let f = lint_manifest_source("Cargo.toml", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|d| d.code == "SN012"));
+        assert!(f[0].message.contains("`serde`"));
+    }
+
+    #[test]
+    fn dev_dependencies_are_checked_too() {
+        let src = "[dev-dependencies]\ncriterion = \"0.5\"\n";
+        assert_eq!(lint_manifest_source("Cargo.toml", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let src = "[dependencies]\nserde = \"1.0\" # audit:allow(SN012)\n# audit:allow(SN012)\nrand = \"0.8\"\n";
+        assert!(lint_manifest_source("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let src = "[package]\nname = \"x\"\nversion = \"0.1.0\"\nedition = \"2021\"\n\n[features]\ndefault = []\n";
+        assert!(lint_manifest_source("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependencies_table_requires_paths() {
+        let clean = "[workspace.dependencies]\nstarnuma-types = { path = \"crates/types\" }\n";
+        assert!(lint_manifest_source("Cargo.toml", clean).is_empty());
+        let dirty = "[workspace.dependencies]\nserde = \"1.0\"\n";
+        assert_eq!(lint_manifest_source("Cargo.toml", dirty).len(), 1);
+    }
+}

@@ -1,135 +1,41 @@
-//! Pass 1: the source-lint scanner.
+//! Per-line source lints (SN001–SN005, SN008, SN009, SN011).
 //!
-//! A deliberately simple line/token scanner — not a parser. It strips line
-//! comments and string literals, tracks brace depth to skip `#[cfg(test)]`
-//! modules, and matches the forbidden tokens textually. The trade-off is
-//! explicit: a handful of syntactic blind spots (multi-line string
-//! literals containing braces) in exchange for zero dependencies and
-//! sub-millisecond whole-workspace scans.
+//! These run over the lexer's reconstructed *code lines* — comments gone,
+//! string/char contents blanked — so a forbidden token can never fire from
+//! inside text, no matter how many lines the literal or comment spans.
+//! The pass stays line-shaped on purpose: findings are cheap to cache per
+//! file, and the brace-depth `#[cfg(test)]` skip from the original
+//! scanner ports over unchanged.
 
-use std::fs;
-use std::path::{Path, PathBuf};
+use starnuma_types::Diagnostic;
 
-use starnuma_types::{Diagnostic, StarNumaError};
+use crate::lexer::{allow_lines, code_lines, lex};
 
-/// Crate directory names exempt from SN002 (wall-clock): the benchmark
-/// harness must measure real time; everything else simulates time.
-pub fn wallclock_exempt() -> &'static [&'static str] {
-    &["bench"]
-}
-
-/// Crate directory names exempt from SN005 (direct prints): the CLI and
-/// the benchmark harness are operator-facing front ends, and the obs crate
-/// owns structured rendering. Library crates must route operator-visible
-/// output through the obs event journal instead of printing.
-pub fn println_exempt() -> &'static [&'static str] {
-    &["bench", "cli", "obs"]
-}
-
-/// Scans a workspace rooted at `root`: `src/` plus every `crates/*/src/`.
-///
-/// Returns all findings, sorted by file then line, so output order is
-/// deterministic regardless of directory enumeration order.
-///
-/// # Errors
-///
-/// Returns [`StarNumaError::Io`] when a source tree cannot be read, or
-/// when `root` contains no Rust sources at all — a mistyped path must not
-/// read as a clean scan.
-pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, StarNumaError> {
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    let mut src_dirs: Vec<(PathBuf, String)> = Vec::new();
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        src_dirs.push((root_src, String::new()));
-    }
-    let crates_dir = root.join("crates");
-    if crates_dir.is_dir() {
-        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)
-            .map_err(|e| StarNumaError::Io(format!("{}: {e}", crates_dir.display())))?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.join("src").is_dir())
-            .collect();
-        entries.sort();
-        for c in entries {
-            let name = c
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_default();
-            src_dirs.push((c.join("src"), name));
-        }
-    }
-    for (src, crate_name) in src_dirs {
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files)?;
-        files.sort();
-        let skip_wallclock = wallclock_exempt().contains(&crate_name.as_str());
-        let skip_println = println_exempt().contains(&crate_name.as_str());
-        for file in files {
-            files_scanned += 1;
-            let source = fs::read_to_string(&file)
-                .map_err(|e| StarNumaError::Io(format!("{}: {e}", file.display())))?;
-            let label = file
-                .strip_prefix(root)
-                .unwrap_or(&file)
-                .to_string_lossy()
-                .into_owned();
-            let is_crate_root = file.file_name().is_some_and(|n| n == "lib.rs")
-                && file.parent().is_some_and(|p| p.ends_with("src"));
-            let mut f = lint_source(&label, &source, is_crate_root);
-            if skip_wallclock {
-                f.retain(|d| d.code != "SN002");
-            }
-            if skip_println {
-                f.retain(|d| d.code != "SN005");
-            }
-            findings.extend(f);
-        }
-    }
-    if files_scanned == 0 {
-        return Err(StarNumaError::Io(format!(
-            "{}: no Rust sources found (expected src/ or crates/*/src/)",
-            root.display()
-        )));
-    }
-    Ok(findings)
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), StarNumaError> {
-    for entry in
-        fs::read_dir(dir).map_err(|e| StarNumaError::Io(format!("{}: {e}", dir.display())))?
-    {
-        let entry = entry.map_err(|e| StarNumaError::Io(e.to_string()))?;
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
+/// Target types whose `as` casts SN009 treats as narrowing. Wider targets
+/// (`u64`, `usize`, `f64`) cannot silently truncate the workspace's
+/// counters; lossless widenings are not flagged.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// Lints one source file's text. `label` names it in diagnostics;
 /// `is_crate_root` enables the SN004 attribute check.
+///
+/// Fires every source rule unscoped; workspace-level crate scoping
+/// (bench may read wall clocks, only sim/types get SN009, …) is applied
+/// by [`crate::lints::scope_findings`] in the driver.
 pub fn lint_source(label: &str, source: &str, is_crate_root: bool) -> Vec<Diagnostic> {
+    let tokens = lex(source);
+    let lines = code_lines(source, &tokens);
+    let allows = allow_lines(&tokens);
     let mut findings = Vec::new();
+
     let mut depth: i64 = 0;
     // Depth at which the innermost `#[cfg(test)] mod { … }` was entered.
     let mut test_depth: Option<i64> = None;
     let mut pending_cfg_test = false;
-    let mut prev_allows: Vec<String> = Vec::new();
 
-    for (idx, raw) in source.lines().enumerate() {
+    for (idx, code) in lines.iter().enumerate() {
         let line_no = idx + 1;
-        let trimmed = raw.trim_start();
-        let allows = allow_markers(raw);
-        let code = strip_comments_and_strings(raw);
-
-        // Doc comments and attributes carry no executable code.
-        let is_doc = trimmed.starts_with("///") || trimmed.starts_with("//!");
-        let is_comment = trimmed.starts_with("//");
+        let trimmed = code.trim_start();
 
         if trimmed.starts_with("#[cfg(test)]") {
             pending_cfg_test = true;
@@ -156,13 +62,15 @@ pub fn lint_source(label: &str, source: &str, is_crate_root: bool) -> Vec<Diagno
             }
         }
 
-        if in_test || is_doc || is_comment {
-            prev_allows = allows;
+        if in_test || trimmed.is_empty() {
             continue;
         }
 
-        let suppressed =
-            |rule: &str| allows.iter().any(|a| a == rule) || prev_allows.iter().any(|a| a == rule);
+        let suppressed = |rule: &str| {
+            allows
+                .iter()
+                .any(|(l, c)| c == rule && (*l == line_no || l + 1 == line_no))
+        };
         let loc = format!("{label}:{line_no}");
 
         if !suppressed("SN001") {
@@ -198,7 +106,7 @@ pub fn lint_source(label: &str, source: &str, is_crate_root: bool) -> Vec<Diagno
         // host clock just as well as a literal `Instant::now()` call, but
         // `InstantLike`/`MyInstant` identifiers must not fire.
         if !suppressed("SN002")
-            && (contains_identifier(&code, "Instant") || contains_identifier(&code, "SystemTime"))
+            && (contains_identifier(code, "Instant") || contains_identifier(code, "SystemTime"))
         {
             findings.push(Diagnostic::error(
                 "SN002",
@@ -214,8 +122,8 @@ pub fn lint_source(label: &str, source: &str, is_crate_root: bool) -> Vec<Diagno
                 "SN003",
                 loc.clone(),
                 "hash collection in library code (iteration order is unstable)",
-                "use BTreeMap/BTreeSet (all workspace keys are Ord) or drain \
-                 through a sorted Vec",
+                "use DetMap, BTreeMap/BTreeSet (all workspace keys are Ord), \
+                 or drain through a sorted Vec",
             ));
         }
         // `println!(` is a suffix of `eprintln!(`, so one match covers both.
@@ -228,8 +136,42 @@ pub fn lint_source(label: &str, source: &str, is_crate_root: bool) -> Vec<Diagno
                  `// audit:allow(SN005)` for deliberate operator output)",
             ));
         }
-
-        prev_allows = allows;
+        if !suppressed("SN008")
+            && (contains_identifier(code, "available_parallelism")
+                || contains_identifier(code, "ThreadId")
+                || code.contains("thread::current"))
+        {
+            findings.push(Diagnostic::error(
+                "SN008",
+                loc.clone(),
+                "thread-topology read in a simulation crate",
+                "worker counts and thread ids must never reach simulated \
+                 state; keep them in the scheduling layer (or mark \
+                 `// audit:allow(SN008)` with a determinism argument)",
+            ));
+        }
+        if !suppressed("SN009") {
+            if let Some(target) = narrowing_cast(code) {
+                findings.push(Diagnostic::error(
+                    "SN009",
+                    loc.clone(),
+                    format!("narrowing `as {target}` cast can silently truncate"),
+                    "use `try_from` with a typed error, a lossless `::from`, \
+                     or mark `// audit:allow(SN009)` with a bound argument",
+                ));
+            }
+        }
+        if !suppressed("SN011")
+            && (code.contains(".sort_unstable_by(") || code.contains(".sort_unstable_by_key("))
+        {
+            findings.push(Diagnostic::error(
+                "SN011",
+                loc.clone(),
+                "`sort_unstable` with a key extractor (ties reorder freely)",
+                "use stable `sort_by` / `sort_by_key`, or mark \
+                 `// audit:allow(SN011)` with a keys-are-unique argument",
+            ));
+        }
     }
 
     if is_crate_root {
@@ -250,7 +192,7 @@ pub fn lint_source(label: &str, source: &str, is_crate_root: bool) -> Vec<Diagno
 
 /// Whether `needle` occurs in `haystack` as a standalone identifier —
 /// not as a substring of a longer one (`InstantLike`, `MyInstant`).
-fn contains_identifier(haystack: &str, needle: &str) -> bool {
+pub(crate) fn contains_identifier(haystack: &str, needle: &str) -> bool {
     let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
     let mut start = 0;
     while let Some(pos) = haystack[start..].find(needle) {
@@ -268,73 +210,32 @@ fn contains_identifier(haystack: &str, needle: &str) -> bool {
     false
 }
 
-/// Extracts `audit:allow(SNxxx)` rule codes from a line's comment.
-fn allow_markers(line: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut rest = line;
-    while let Some(pos) = rest.find("audit:allow(") {
-        rest = &rest[pos + "audit:allow(".len()..];
-        if let Some(end) = rest.find(')') {
-            out.push(rest[..end].trim().to_string());
-            rest = &rest[end..];
-        } else {
-            break;
-        }
-    }
-    out
-}
-
-/// Removes `//` line comments and the contents of string/char literals so
-/// token matching cannot fire inside text.
-fn strip_comments_and_strings(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut in_char = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            match c {
-                '\\' => {
-                    chars.next();
-                }
-                '"' => {
-                    in_str = false;
-                    out.push('"');
-                }
-                _ => {}
-            }
+/// Finds the first narrowing `as <target>` cast on a code line, returning
+/// the target type name.
+fn narrowing_cast(code: &str) -> Option<&'static str> {
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("as") {
+        let at = start + pos;
+        start = at + 2;
+        // `as` must stand alone: not `alias`, not `has`.
+        if code[..at].chars().next_back().is_some_and(is_ident) {
             continue;
         }
-        if in_char {
-            match c {
-                '\\' => {
-                    chars.next();
-                }
-                '\'' => in_char = false,
-                _ => {}
-            }
+        let rest = &code[at + 2..];
+        if rest.chars().next().is_some_and(is_ident) {
             continue;
         }
-        match c {
-            '/' if chars.peek() == Some(&'/') => break,
-            '"' => {
-                in_str = true;
-                out.push('"');
-            }
-            // A quote is a char literal only when it closes within a couple
-            // of characters; otherwise it is a lifetime (`'a`).
-            '\'' => {
-                let lookahead: String = chars.clone().take(3).collect();
-                if lookahead.starts_with('\\') || lookahead.chars().nth(1) == Some('\'') {
-                    in_char = true;
-                } else {
-                    out.push('\'');
-                }
-            }
-            c => out.push(c),
+        let target: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| is_ident(*c))
+            .collect();
+        if let Some(t) = NARROW_TARGETS.iter().find(|t| **t == target) {
+            return Some(t);
         }
     }
-    out
+    None
 }
 
 #[cfg(test)]
@@ -378,36 +279,27 @@ mod tests {
             .into_iter()
             .map(|d| d.code)
             .collect();
-        // The bare `Instant` import now fires too, not just the `::now()`.
         assert_eq!(codes, vec!["SN002", "SN003", "SN002"]);
     }
 
     #[test]
     fn bare_wallclock_types_flagged_on_identifier_boundaries() {
-        // A stashed Instant or a SystemTime read without `Instant::now()`
-        // in sight is still a wall-clock dependency.
         let dirty = "pub struct Timer {\n    started: std::time::Instant,\n}\nfn f() -> u64 {\n    let t = std::time::SystemTime::UNIX_EPOCH;\n    let _ = t;\n    0\n}\n";
         let codes: Vec<_> = lint_source("f.rs", dirty, false)
             .into_iter()
             .map(|d| d.code)
             .collect();
         assert_eq!(codes, vec!["SN002", "SN002"]);
-        // Identifiers that merely *contain* the type names stay clean.
         let clean = "pub struct InstantLike;\npub struct MyInstant;\npub fn instant_of(x: InstantLike) -> InstantLike { x }\ntype SystemTimeout = u64;\n";
         assert!(lint_source("f.rs", clean, false).is_empty());
     }
 
     #[test]
     fn profclock_style_allow_markers_satisfy_sn002() {
-        // The shape `starnuma_prof::clock` uses: each wall-clock-touching
-        // line carries its own allow marker.
         let clean = "use std::time::Instant; // audit:allow(SN002)\npub struct ProfClock {\n    at: Instant, // audit:allow(SN002)\n}\nimpl ProfClock {\n    pub fn stamp() -> Self {\n        // audit:allow(SN002)\n        ProfClock { at: Instant::now() }\n    }\n}\n";
         assert!(lint_source("f.rs", clean, false).is_empty());
     }
 
-    /// The in-repo deterministic map (PR 5) must pass SN003 by
-    /// construction while std hash collections keep being flagged — the
-    /// hot paths are expected to hold `DetMap`s.
     #[test]
     fn detmap_is_accepted_where_hashmap_is_flagged() {
         let clean = "use starnuma_types::DetMap;\nuse starnuma_types::BlockAddr;\npub struct Directory {\n    entries: DetMap<BlockAddr, u32>,\n}\n";
@@ -457,6 +349,14 @@ mod tests {
     }
 
     #[test]
+    fn multiline_block_comments_and_raw_strings_do_not_leak() {
+        // The line-based scanner's blind spots: tokens spanning or hiding
+        // inside multi-line constructs.
+        let src = "/* Instant\n   SystemTime on a later comment line */\nfn f() -> String {\n    let s = r#\"HashMap<u64, u64> println!(\"#.to_string();\n    let t = \"first\n.unwrap() second\".to_string();\n    s + &t\n}\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+    }
+
+    #[test]
     fn crate_root_attributes_required() {
         let f = lint_source("src/lib.rs", "//! docs\npub fn x() {}\n", true);
         assert_eq!(f.len(), 2);
@@ -466,7 +366,7 @@ mod tests {
     }
 
     #[test]
-    fn lifetimes_do_not_confuse_the_stripper() {
+    fn lifetimes_do_not_confuse_the_lexer() {
         let src = "fn f<'a>(x: &'a str) -> &'a str { x }\n";
         assert!(lint_source("f.rs", src, false).is_empty());
     }
@@ -475,5 +375,44 @@ mod tests {
     fn should_panic_attribute_is_not_a_panic() {
         let src = "#[should_panic(expected = \"boom\")]\nfn not_really_lib() {}\n";
         assert!(lint_source("f.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn thread_topology_reads_are_flagged() {
+        let src = "fn f() -> usize {\n    std::thread::available_parallelism().map_or(1, |n| n.get())\n}\nfn g() -> std::thread::ThreadId {\n    std::thread::current().id()\n}\n";
+        let codes: Vec<_> = lint_source("f.rs", src, false)
+            .into_iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(codes, vec!["SN008", "SN008", "SN008"]);
+        let allowed = "fn f() -> usize {\n    // audit:allow(SN008) worker count never reaches sim state\n    std::thread::available_parallelism().map_or(1, |n| n.get())\n}\n";
+        assert!(lint_source("f.rs", allowed, false).is_empty());
+    }
+
+    #[test]
+    fn narrowing_casts_are_flagged_and_widening_is_not() {
+        let dirty = "fn f(x: u64) -> u32 { x as u32 }\n";
+        let codes: Vec<_> = lint_source("f.rs", dirty, false)
+            .into_iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(codes, vec!["SN009"]);
+        let clean = "fn f(x: u32) -> u64 { x as u64 }\nfn g(x: u32) -> usize { x as usize }\nfn h(x: u32) -> f64 { x as f64 }\nfn alias(x: u64) -> u64 { let has = x; has }\n";
+        assert!(lint_source("f.rs", clean, false).is_empty());
+        let allowed =
+            "fn f(x: u64) -> u32 { x as u32 } // audit:allow(SN009) bounded by table size\n";
+        assert!(lint_source("f.rs", allowed, false).is_empty());
+    }
+
+    #[test]
+    fn keyed_unstable_sorts_are_flagged_but_plain_sorts_are_not() {
+        let dirty = "fn f(v: &mut Vec<(u32, u32)>) {\n    v.sort_unstable_by_key(|e| e.0);\n    v.sort_unstable_by(|a, b| a.0.cmp(&b.0));\n}\n";
+        let codes: Vec<_> = lint_source("f.rs", dirty, false)
+            .into_iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(codes, vec!["SN011", "SN011"]);
+        let clean = "fn f(v: &mut Vec<u32>) {\n    v.sort_unstable();\n    v.sort();\n    v.sort_by_key(|e| *e);\n}\n";
+        assert!(lint_source("f.rs", clean, false).is_empty());
     }
 }

@@ -28,6 +28,24 @@ pub fn render_json(findings: &[Diagnostic]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Schema version of the `lint --json` report object.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Renders the versioned `lint --json` report object: the findings array
+/// plus counts the caller supplies (suppressed-by-baseline, files
+/// scanned). Callers pass findings already in stable (path, line, code)
+/// order and deduplicated.
+pub fn render_json_report(
+    findings: &[Diagnostic],
+    suppressed: usize,
+    files_scanned: usize,
+) -> String {
+    format!(
+        "{{\"schema_version\":{REPORT_SCHEMA_VERSION},\"files_scanned\":{files_scanned},\"suppressed\":{suppressed},\"findings\":{}}}",
+        render_json(findings)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,6 +70,19 @@ mod tests {
         assert!(s.contains("warning[SN105]"));
         assert!(s.contains("2 finding(s) (1 error(s), 1 warning(s))"));
         assert_eq!(render_human(&[]), "audit: no findings");
+    }
+
+    #[test]
+    fn json_report_is_versioned() {
+        let s = render_json_report(&sample(), 3, 42);
+        assert!(s.starts_with("{\"schema_version\":1,"));
+        assert!(s.contains("\"files_scanned\":42"));
+        assert!(s.contains("\"suppressed\":3"));
+        assert!(s.contains("\"findings\":[{"));
+        assert_eq!(
+            render_json_report(&[], 0, 1),
+            "{\"schema_version\":1,\"files_scanned\":1,\"suppressed\":0,\"findings\":[]}"
+        );
     }
 
     #[test]

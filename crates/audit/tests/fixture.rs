@@ -1,10 +1,12 @@
 //! End-to-end scan of the deliberately dirty fixture tree under
-//! `tests/fixture_ws` (which carries no `Cargo.toml`, so cargo never
-//! compiles it — the scanner sees it purely as text).
+//! `tests/fixture_ws` (which carries no workspace `Cargo.toml`, so cargo
+//! never compiles it — the analyzer sees it purely as text). The fixture
+//! fires every rule SN001–SN012 at least once and carries a clean twin
+//! for each of the new dataflow rules.
 
 use std::path::Path;
 
-use starnuma_audit::{lint_workspace, render_human, render_json};
+use starnuma_audit::{lint_workspace, render_human, render_json, Baseline};
 
 fn fixture_root() -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixture_ws")
@@ -13,37 +15,89 @@ fn fixture_root() -> std::path::PathBuf {
 #[test]
 fn fixture_violations_are_found_with_exact_codes() {
     let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
-    let codes: Vec<&str> = findings.iter().map(|d| d.code).collect();
+    let got: Vec<(&str, &str)> = findings
+        .iter()
+        .map(|d| (d.location.as_str(), d.code))
+        .collect();
     assert_eq!(
-        codes,
+        got,
         [
-            "SN001", "SN002", "SN002", "SN002", "SN002", "SN003", "SN003", "SN005", "SN004",
-            "SN004"
+            ("crates/sim/Cargo.toml:12", "SN012"),
+            ("crates/sim/src/lib.rs:14", "SN006"),
+            ("crates/sim/src/lib.rs:29", "SN007"),
+            ("crates/sim/src/lib.rs:46", "SN008"),
+            ("crates/sim/src/lib.rs:51", "SN009"),
+            ("crates/sim/src/lib.rs:65", "SN010"),
+            ("crates/sim/src/lib.rs:78", "SN011"),
+            ("crates/sim/src/lib.rs:90", "SN005"),
+            ("crates/sim/src/main.rs:1", "SN012"),
+            ("src/lib.rs:1", "SN004"),
+            ("src/lib.rs:1", "SN004"),
+            ("src/lib.rs:5", "SN001"),
+            ("src/lib.rs:8", "SN002"),
+            ("src/lib.rs:9", "SN002"),
+            ("src/lib.rs:12", "SN002"),
+            ("src/lib.rs:13", "SN002"),
+            ("src/lib.rs:16", "SN003"),
+            ("src/lib.rs:17", "SN003"),
         ],
         "findings:\n{}",
         render_human(&findings)
     );
     assert!(findings.iter().all(|d| d.is_error()));
-    assert!(
-        findings[0].location.ends_with("lib.rs:5"),
-        "unwrap flagged at {}",
-        findings[0].location
+}
+
+#[test]
+fn every_rule_fires_in_the_fixture() {
+    let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
+    let mut codes: Vec<&str> = findings.iter().map(|d| d.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(
+        codes,
+        [
+            "SN001", "SN002", "SN003", "SN004", "SN005", "SN006", "SN007", "SN008", "SN009",
+            "SN010", "SN011", "SN012"
+        ]
     );
 }
 
 #[test]
-fn allow_marker_and_test_module_are_exempt() {
+fn comments_strings_and_scoping_exemptions_hold() {
     let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
     // The allow-marked ProfClock-style Instant field (line 30), the
     // `InstantLike` identifiers (lines 33/35), the allow-marked unwrap
-    // (line 41), and the test-module unwrap (line 53) must not be
-    // reported.
-    for exempt in [":30", ":33", ":35", ":41", ":53"] {
-        assert!(
-            !findings.iter().any(|d| d.location.ends_with(exempt)),
-            "line {exempt} should be exempt"
+    // (line 41), and the test-module unwrap must not be reported — nor may
+    // the `/* Instant */` block comment, the `r#"HashMap"#` raw string, or
+    // the `"println!("` string literal at the bottom of the root file.
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|d| d.location.starts_with("src/lib.rs"))
+            .filter(|d| {
+                let line: usize = d.location.rsplit_once(':').unwrap().1.parse().unwrap();
+                line > 17
+            })
+            .count(),
+        0,
+        "nothing after root line 17 may fire:\n{}",
+        render_human(&findings)
+    );
+    // Front-end scoping: the root package's println! is exempt from SN005.
+    assert!(!findings
+        .iter()
+        .any(|d| d.code == "SN005" && d.location.starts_with("src/lib.rs")));
+    // The clean twins in the sim crate stay silent: exactly one finding
+    // per new rule.
+    for code in ["SN006", "SN007", "SN008", "SN009", "SN010", "SN011"] {
+        assert_eq!(
+            findings.iter().filter(|d| d.code == code).count(),
+            1,
+            "{code} must fire exactly once"
         );
     }
+    // The allow-marked external dep in the fixture manifest stays clean.
+    assert_eq!(findings.iter().filter(|d| d.code == "SN012").count(), 2);
 }
 
 #[test]
@@ -57,10 +111,19 @@ fn a_sourceless_root_is_an_error_not_a_clean_scan() {
 fn renderers_cover_every_finding() {
     let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
     let human = render_human(&findings);
-    assert!(human.contains("10 finding(s)"), "summary in: {human}");
+    assert!(human.contains("18 finding(s)"), "summary in: {human}");
     assert!(human.contains("error[SN004]"));
-    assert!(human.contains("error[SN005]"));
+    assert!(human.contains("error[SN012]"));
     let json = render_json(&findings);
     assert!(json.starts_with('[') && json.ends_with(']'));
-    assert_eq!(json.matches("\"code\"").count(), 10);
+    assert_eq!(json.matches("\"code\"").count(), 18);
+}
+
+#[test]
+fn a_baseline_built_from_the_fixture_suppresses_it_completely() {
+    let findings = lint_workspace(&fixture_root()).expect("fixture tree is readable");
+    let baseline = Baseline::from_findings(&findings);
+    let (remaining, suppressed) = baseline.apply(findings);
+    assert!(remaining.is_empty());
+    assert_eq!(suppressed.len(), 18);
 }

@@ -1,0 +1,91 @@
+//! A deliberately dirty simulation crate for the audit integration tests.
+//! Each of SN005–SN011 fires exactly once here; every rule also has a
+//! clean twin that must stay silent. Like the rest of the fixture tree,
+//! cargo never compiles this file — the analyzer sees it purely as text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use starnuma_types::DetMap;
+
+// SN006: insertion-order DetMap iteration inside an export boundary.
+pub fn export_counts(m: &DetMap<u64, u64>) -> u64 {
+    let mut n = 0u64;
+    for (_k, v) in m.iter() {
+        n += v;
+    }
+    n
+}
+
+// Clean twin: the boundary canonicalizes through sorted_drain.
+pub fn export_sorted(m: &mut DetMap<u64, u64>) -> Vec<(u64, u64)> {
+    m.sorted_drain()
+}
+
+// SN007: float accumulation in a loop without a canonical-order note.
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+// Clean twin: the iteration order is stated within reach of the `+=`.
+pub fn mean_noted(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    // canonical order: xs is slice-ordered by the caller.
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+// SN008: a thread-topology read inside a simulation crate.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+// SN009: a narrowing `as` cast in a truncation-scoped crate.
+pub fn truncate(x: u64) -> u16 {
+    x as u16
+}
+
+// Clean twins: a lossless conversion and an allow-marked bounded cast.
+pub fn widen(x: u16) -> u64 {
+    u64::from(x)
+}
+
+pub fn bounded(x: u64) -> u16 {
+    // audit:allow(SN009) fixture: values are bounded below 2^16.
+    x as u16
+}
+
+// SN010: a pub API returning a Vec in DetMap iteration order.
+pub fn snapshot(m: &DetMap<u64, u64>) -> Vec<u64> {
+    m.values().copied().collect()
+}
+
+// Clean twin: the Vec is sorted before it escapes.
+pub fn snapshot_sorted(m: &DetMap<u64, u64>) -> Vec<u64> {
+    let mut v: Vec<u64> = m.values().copied().collect();
+    v.sort();
+    v
+}
+
+// SN011: a keyed unstable sort (ties reorder freely).
+pub fn rank(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.sort_unstable_by_key(|e| e.0);
+    v
+}
+
+// Clean twin: a stable sort on the same key.
+pub fn rank_stable(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.sort_by_key(|e| e.0);
+    v
+}
+
+// SN005: a direct print from a library crate.
+pub fn chatty() {
+    println!("simulation crates must route output through the obs journal");
+}

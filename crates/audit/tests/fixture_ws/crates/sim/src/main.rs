@@ -1,0 +1,4 @@
+//! Fixture binary root deliberately missing `#![forbid(unsafe_code)]`
+//! so the SN012 bin-root check has something to catch.
+
+fn main() {}

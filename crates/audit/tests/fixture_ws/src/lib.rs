@@ -41,8 +41,21 @@ pub fn suppressed(v: Option<u32>) -> u32 {
     v.unwrap()
 }
 
+// The root package is a front end, so this must be scoped out of SN005
+// (library crates in the fixture still fire it).
 pub fn noisy() {
     println!("chatty library");
+}
+
+/* Instant */
+// ^ a wall-clock name inside a block comment must not fire SN002.
+
+pub fn raw_string_is_not_code() -> &'static str {
+    // A std hash collection named inside a raw string must not fire SN003,
+    // and a macro name inside a plain string must not fire SN005.
+    let quoted = "println!(";
+    let _ = quoted;
+    r#"HashMap"#
 }
 
 #[cfg(test)]

@@ -29,7 +29,17 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["json", "full-scale", "help", "progress"];
+const SWITCHES: &[&str] = &[
+    "json",
+    "full-scale",
+    "help",
+    "progress",
+    "baseline",
+    "update-baseline",
+    "fix",
+    "fix-allow",
+    "no-cache",
+];
 
 impl Args {
     /// Parses raw arguments (without the program name).

@@ -1,5 +1,7 @@
 //! `starnuma` — command-line front end for the StarNUMA reproduction.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use starnuma_cli::{run, usage};

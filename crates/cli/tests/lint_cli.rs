@@ -1,11 +1,18 @@
-//! The `starnuma lint` subcommand, exercised through the real binary so the
-//! exit-code contract is tested end to end.
+//! The `starnuma lint` subcommand, exercised through the real binary so
+//! the exit-code, baseline, SARIF, and fix contracts are tested end to
+//! end. Fixture runs pass `--no-cache` so tests never write into the
+//! checked-in fixture tree.
 
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn starnuma() -> Command {
     Command::new(env!("CARGO_BIN_EXE_starnuma"))
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
 fn dirty_fixture() -> PathBuf {
@@ -15,22 +22,29 @@ fn dirty_fixture() -> PathBuf {
 #[test]
 fn lint_exits_nonzero_on_the_dirty_fixture() {
     let out = starnuma()
-        .args(["lint", "--root", dirty_fixture().to_str().expect("utf-8")])
+        .args([
+            "lint",
+            "--root",
+            dirty_fixture().to_str().expect("utf-8"),
+            "--no-cache",
+        ])
         .output()
         .expect("binary runs");
     assert!(!out.status.success(), "dirty tree must fail the lint");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("SN001"), "stdout: {stdout}");
-    assert!(stdout.contains("SN004"), "stdout: {stdout}");
+    assert!(stdout.contains("SN006"), "stdout: {stdout}");
+    assert!(stdout.contains("SN012"), "stdout: {stdout}");
 }
 
 #[test]
-fn lint_json_format_emits_an_array() {
+fn lint_json_format_emits_a_versioned_report() {
     let out = starnuma()
         .args([
             "lint",
             "--root",
             dirty_fixture().to_str().expect("utf-8"),
+            "--no-cache",
             "--format",
             "json",
         ])
@@ -38,23 +52,173 @@ fn lint_json_format_emits_an_array() {
         .expect("binary runs");
     assert!(!out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.trim_start().starts_with('['), "stdout: {stdout}");
+    assert!(
+        stdout.trim_start().starts_with("{\"schema_version\":1,"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"files_scanned\":"), "stdout: {stdout}");
+    assert!(stdout.contains("\"findings\":[{"), "stdout: {stdout}");
     assert!(stdout.contains("\"code\":\"SN001\""), "stdout: {stdout}");
 }
 
 #[test]
-fn lint_exits_zero_on_the_workspace_itself() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+fn lint_sarif_format_and_file_output_agree() {
+    let dir = std::env::temp_dir().join("starnuma-lint-cli-sarif");
+    fs::create_dir_all(&dir).expect("temp dir");
+    let sarif_path = dir.join("lint.sarif");
     let out = starnuma()
-        .args(["lint", "--root", root.to_str().expect("utf-8")])
+        .args([
+            "lint",
+            "--root",
+            dirty_fixture().to_str().expect("utf-8"),
+            "--no-cache",
+            "--format",
+            "sarif",
+            "--sarif",
+            sarif_path.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    let written = fs::read_to_string(&sarif_path).expect("sarif file written");
+    assert_eq!(stdout, written.trim(), "stdout and --sarif file must agree");
+    assert!(written.contains("\"version\":\"2.1.0\""));
+    assert!(written.contains("\"name\":\"starnuma-audit\""));
+    assert!(written.contains("\"ruleId\":\"SN006\""));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_exits_zero_on_the_workspace_itself_with_the_baseline() {
+    let root = workspace_root();
+    let out = starnuma()
+        .args([
+            "lint",
+            "--root",
+            root.to_str().expect("utf-8"),
+            "--no-cache",
+            "--baseline",
+        ])
         .output()
         .expect("binary runs");
     assert!(
         out.status.success(),
-        "workspace must stay lint-clean:\n{}",
+        "workspace must stay lint-clean beyond the baseline:\n{}",
         String::from_utf8_lossy(&out.stdout)
     );
-    assert!(String::from_utf8_lossy(&out.stdout).contains("no findings"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no findings"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("suppressed by baseline"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn update_baseline_is_a_no_op_on_the_workspace() {
+    let root = workspace_root();
+    let dir = std::env::temp_dir().join("starnuma-lint-cli-baseline");
+    fs::create_dir_all(&dir).expect("temp dir");
+    let fresh = dir.join("lint_baseline.json");
+    let out = starnuma()
+        .args([
+            "lint",
+            "--root",
+            root.to_str().expect("utf-8"),
+            "--no-cache",
+            "--update-baseline",
+            "--baseline-file",
+            fresh.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "update-baseline exits zero");
+    let regenerated = fs::read_to_string(&fresh).expect("baseline written");
+    let checked_in = fs::read_to_string(root.join("ci/lint_baseline.json"))
+        .expect("ci/lint_baseline.json exists");
+    assert_eq!(
+        regenerated, checked_in,
+        "regenerating the baseline must be a no-op; \
+         run `starnuma lint --update-baseline` and commit the result"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_baseline_file_fails_loudly() {
+    let out = starnuma()
+        .args([
+            "lint",
+            "--root",
+            dirty_fixture().to_str().expect("utf-8"),
+            "--no-cache",
+            "--baseline-file",
+            "/nonexistent/lint_baseline.json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn fix_converges_on_a_copy_of_the_dirty_fixture() {
+    let dir = std::env::temp_dir().join("starnuma-lint-cli-fix");
+    fs::remove_dir_all(&dir).ok();
+    copy_tree(&dirty_fixture(), &dir);
+
+    // First pass: safe rewrites plus allow markers for the rest.
+    let out = starnuma()
+        .args([
+            "lint",
+            "--root",
+            dir.to_str().expect("utf-8"),
+            "--no-cache",
+            "--fix",
+            "--fix-allow",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "after --fix --fix-allow nothing may remain:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let root_lib = fs::read_to_string(dir.join("src/lib.rs")).expect("fixed file");
+    assert!(root_lib.contains("DetMap"), "SN003 rewrite applied");
+    let sim_lib = fs::read_to_string(dir.join("crates/sim/src/lib.rs")).expect("fixed file");
+    assert!(sim_lib.contains(".sort_by_key("), "SN011 rewrite applied");
+
+    // Second pass must report nothing and rewrite nothing.
+    let again = starnuma()
+        .args([
+            "lint",
+            "--root",
+            dir.to_str().expect("utf-8"),
+            "--no-cache",
+            "--fix",
+            "--fix-allow",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(again.status.success());
+    assert!(
+        String::from_utf8_lossy(&again.stdout).contains("no findings"),
+        "second --fix run must be clean: {}",
+        String::from_utf8_lossy(&again.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&again.stderr).is_empty(),
+        "second --fix run must not rewrite: {}",
+        String::from_utf8_lossy(&again.stderr)
+    );
+    fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -65,4 +229,17 @@ fn lint_rejects_unknown_format() {
         .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown format"));
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).expect("create dir");
+    for entry in fs::read_dir(from).expect("read dir").filter_map(Result::ok) {
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        if src.is_dir() {
+            copy_tree(&src, &dst);
+        } else {
+            fs::copy(&src, &dst).expect("copy file");
+        }
+    }
 }

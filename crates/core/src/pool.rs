@@ -128,6 +128,7 @@ fn env_jobs() -> Result<Option<usize>, StarNumaError> {
 
 /// The host's available parallelism, defaulting to 1 when unknown.
 fn default_parallelism() -> usize {
+    // audit:allow(SN008) sizes the worker pool only; merge order is fixed, results never differ.
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

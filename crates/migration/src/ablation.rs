@@ -67,7 +67,7 @@ impl AblationPolicy {
                 score.map(|s| (s, region))
             })
             .collect();
-        candidates.sort_unstable_by_key(|&(score, region)| (u64::MAX - score, region.index()));
+        candidates.sort_by_key(|&(score, region)| (u64::MAX - score, region.index()));
 
         let mut plan = MigrationPlan::default();
         let mut moved = 0u64;

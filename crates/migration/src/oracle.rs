@@ -149,7 +149,7 @@ impl OracleDynamicPolicy {
                 }
             }
         }
-        hot.sort_unstable_by_key(|&(t, p, _)| (u64::MAX - t, p.pfn()));
+        hot.sort_by_key(|&(t, p, _)| (u64::MAX - t, p.pfn()));
         let mut plan = MigrationPlan::default();
         for (_, page, dst) in hot.into_iter().take(self.migration_limit_pages as usize) {
             let from = map.location(page);
@@ -206,7 +206,7 @@ pub fn static_oracle_placement_with_sharers(
         .filter(|&p| sharers_of(p) >= pool_sharer_threshold)
         .map(|p| (counts.total(p), p))
         .collect();
-    pool_candidates.sort_unstable_by_key(|&(t, p)| (u64::MAX - t, p.pfn()));
+    pool_candidates.sort_by_key(|&(t, p)| (u64::MAX - t, p.pfn()));
     let pooled: BTreeSet<PageId> = pool_candidates
         .into_iter()
         .take(pool_capacity_pages as usize)

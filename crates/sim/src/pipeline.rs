@@ -153,7 +153,7 @@ impl Runner {
                     counts.merge(&PageAccessCounts::from_trace(&t, fp, n_sockets, cps));
                 }
                 static_oracle_placement_with_sharers(&counts, pool_cap, 8, |p| {
-                    scout.page_sharers(p).len() as u32
+                    u32::try_from(scout.page_sharers(p).len()).unwrap_or(u32::MAX)
                 })
             }
             _ => {
@@ -205,7 +205,7 @@ impl Runner {
             * (n_sockets * cps) as f64
             / num_regions as f64) as u64;
         let mut policy_cfg = if t0 {
-            PolicyConfig::t0(n_sockets as u32)
+            PolicyConfig::t0(u32::try_from(n_sockets).unwrap_or(u32::MAX))
         } else {
             PolicyConfig::t16_scaled(mean_region_accesses.max(2))
         };
@@ -215,6 +215,7 @@ impl Runner {
             ((self.config.instructions_per_phase as f64 * self.profile.mpki / 1000.0
                 * (n_sockets * cps) as f64)
                 / fp as f64)
+                // audit:allow(SN009) float-to-int `as` saturates deterministically.
                 .max(2.0) as u32,
             self.config.migration_limit_pages,
         );
@@ -261,8 +262,9 @@ impl Runner {
         let mut prev_llc = sim.llc_stats();
         let mut prev_dir = sim.directory_stats();
         for _phase in 0..self.config.phases {
-            obs.begin_phase(_phase as u32);
-            starnuma_prof::set_phase(_phase as u32);
+            let phase_no = u32::try_from(_phase).unwrap_or(u32::MAX);
+            obs.begin_phase(phase_no);
+            starnuma_prof::set_phase(phase_no);
             let trace = {
                 let _prof = ProfScope::enter(Site::TraceGen);
                 gen.generate_phase(self.config.instructions_per_phase)
@@ -285,7 +287,8 @@ impl Runner {
                             tlb.set_markers();
                         }
                         for (core_idx, stream) in trace.per_core.iter().enumerate() {
-                            let socket = CoreId::new(core_idx as u32).socket(cps);
+                            let core = u32::try_from(core_idx).unwrap_or(u32::MAX);
+                            let socket = CoreId::new(core).socket(cps);
                             let tlb = &mut tlbs[core_idx];
                             for a in stream {
                                 for f in tlb.record_llc_miss(a.addr.page()) {

@@ -308,7 +308,8 @@ impl TimingSim {
             .iter()
             .enumerate()
             .map(|(i, stream)| {
-                let socket = starnuma_types::CoreId::new(i as u32).socket(self.cores_per_socket);
+                let core = u32::try_from(i).unwrap_or(u32::MAX);
+                let socket = starnuma_types::CoreId::new(core).socket(self.cores_per_socket);
                 let light = match modality {
                     Modality::AllDetailed => false,
                     Modality::Mixed { detailed_socket } => socket != detailed_socket,

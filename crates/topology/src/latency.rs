@@ -150,6 +150,7 @@ impl LatencyModel {
         for r in 0..n {
             for h in 0..n {
                 for o in 0..n {
+                    // canonical order: fixed (requester, home, owner) nest.
                     total += self
                         .three_hop_transfer(SocketId::new(r), SocketId::new(h), SocketId::new(o))
                         .raw();

