@@ -93,10 +93,23 @@ fn main() {
     // Macro: a fig08-style run, observed and not. Bit-identical results
     // are the hard requirement; the slowdown is informational.
     let scale = starnuma::ScaleConfig::quick();
+    let phases = scale.phases;
     let experiment = Experiment::new(Workload::Bfs, SystemKind::StarNuma, scale);
     let (t_plain, plain) = timed(|| experiment.run());
     let (t_obs, (observed, obs_report)) = timed(|| experiment.run_observed());
     assert_eq!(plain, observed, "observation changed the simulation result");
+    // The run above had the online invariant monitors armed (they are part
+    // of every observed run): they must have checked every phase barrier,
+    // found nothing, and — per the assert_eq above — perturbed nothing.
+    assert_eq!(
+        obs_report.monitor.checks, phases as u64,
+        "monitors must run once per phase barrier"
+    );
+    assert!(
+        obs_report.monitor.is_clean(),
+        "healthy run tripped a monitor: {:?}",
+        obs_report.monitor.violations
+    );
     println!();
     println!("macro (BFS on StarNUMA, quick scale):");
     println!("  unobserved run    {:>8.1} ms", t_plain * 1e3);

@@ -39,6 +39,8 @@ const SWITCHES: &[&str] = &[
     "fix",
     "fix-allow",
     "no-cache",
+    "strict-monitors",
+    "markdown",
 ];
 
 impl Args {

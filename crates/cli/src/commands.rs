@@ -7,8 +7,8 @@ use std::process::ExitCode;
 use std::collections::BTreeMap;
 
 use starnuma::obs::{
-    metrics_json, parse_flat_object, percentile_from_counts, trace_jsonl, JsonValue, ObsReport,
-    RunMeta,
+    metrics_json, parse_flat_object, trace_jsonl, try_percentile_from_counts, JsonValue, ObsReport,
+    RunExtras, RunMeta, RunRecord, SiteSummary, LEDGER_FILE, MONITOR_NAMES,
 };
 use starnuma::prof;
 use starnuma::report::{run_result_json, Json};
@@ -19,7 +19,7 @@ use starnuma::{
 use starnuma_migration::ReplicationConfig;
 use starnuma_topology::SystemParams;
 use starnuma_trace::{read_phase, write_phase, SharingHistogram};
-use starnuma_types::{Location, SocketId};
+use starnuma_types::{digest_hex, fnv1a_digest, Location, SocketId};
 
 use crate::args::{ArgError, Args};
 
@@ -92,8 +92,121 @@ fn preset_name(preset: ScalePreset) -> &'static str {
 
 /// Whether this invocation asked for observability output, and therefore
 /// whether the simulation should run with the [`starnuma::obs`] sink on.
+/// The ledger and the monitor flags all need the sink's report.
 fn wants_obs(args: &Args) -> bool {
-    args.get("trace-out").is_some() || args.get("metrics-out").is_some()
+    args.get("trace-out").is_some()
+        || args.get("metrics-out").is_some()
+        || args.switch("strict-monitors")
+        || args.get("inject-monitor-fault").is_some()
+        || ledger_dir(args).is_some()
+}
+
+/// Resolved ledger directory: `--ledger DIR` wins, else the
+/// `STARNUMA_LEDGER` environment variable; `None` when neither is set.
+fn ledger_dir(args: &Args) -> Option<String> {
+    args.get("ledger").map(str::to_string).or_else(|| {
+        std::env::var("STARNUMA_LEDGER")
+            .ok()
+            .filter(|v| !v.is_empty())
+    })
+}
+
+/// Per-command ledger state, created *before* the runs start so the wall
+/// timer covers them and the profiler can attribute their time.
+struct LedgerSession {
+    dir: std::path::PathBuf,
+    timer: prof::SessionTimer,
+    /// Whether this session turned the profiler on (and must drain it).
+    /// False under `starnuma profile`, which owns the report.
+    owns_prof: bool,
+}
+
+/// Starts a ledger session when this invocation asked for one. Enables
+/// the profiler for top-site attribution unless an enclosing `profile`
+/// wrapper already owns it.
+fn ledger_session(args: &Args) -> Option<LedgerSession> {
+    let dir = ledger_dir(args)?;
+    let owns_prof = !prof::is_enabled();
+    if owns_prof {
+        prof::reset();
+        prof::set_enabled(true);
+    }
+    Some(LedgerSession {
+        dir: dir.into(),
+        timer: prof::SessionTimer::start(),
+        owns_prof,
+    })
+}
+
+impl LedgerSession {
+    /// Appends one [`RunRecord`] per completed run to `dir/runs.jsonl`.
+    /// Wall time and profiler top sites are per *command*, shared by every
+    /// record of a batch (compare/sweep fan their runs out in parallel, so
+    /// per-run wall time does not exist).
+    fn append(self, entries: &[(RunMeta, u64, &RunResult, &ObsReport)]) -> Result<(), ArgError> {
+        let wall_ns = self.timer.elapsed_ns();
+        let top_sites: Vec<SiteSummary> = if self.owns_prof {
+            prof::set_enabled(false);
+            prof::take_report()
+                .top_sites(5)
+                .into_iter()
+                .map(|(label, ns, calls)| SiteSummary { label, ns, calls })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for (meta, config_digest, result, report) in entries {
+            let extras = RunExtras {
+                config_digest: *config_digest,
+                result_digest: fnv1a_digest(format!("{result:?}").as_bytes()),
+                wall_ns,
+                ipc: result.ipc,
+                amat_ns: result.amat_ns,
+                pages_migrated: result.pages_migrated,
+                pages_to_pool: result.pages_to_pool,
+                top_sites: top_sites.clone(),
+            };
+            RunRecord::from_observed(meta, report, &report.monitor, &extras)
+                .append_to(&self.dir)
+                .map_err(|e| {
+                    ArgError(format!("cannot write ledger {}: {e}", self.dir.display()))
+                })?;
+        }
+        Ok(())
+    }
+}
+
+/// Prints every monitor violation to stderr; under `--strict-monitors` a
+/// non-empty set fails the command.
+fn enforce_monitors(args: &Args, sections: &[(RunMeta, &ObsReport)]) -> ExitCode {
+    let mut violations = 0u64;
+    for (meta, report) in sections {
+        for v in &report.monitor.violations {
+            violations += 1;
+            eprintln!(
+                "monitor violation: {} (phase {}, observed {}, limit {}) in {} on {}",
+                v.monitor, v.phase, v.observed, v.limit, meta.workload, meta.system
+            );
+        }
+    }
+    if violations > 0 && args.switch("strict-monitors") {
+        eprintln!("strict-monitors: failing on {violations} violation(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Validates `--inject-monitor-fault NAME` against the monitor catalogue.
+fn parse_fault(args: &Args) -> Result<Option<&str>, ArgError> {
+    match args.get("inject-monitor-fault") {
+        None => Ok(None),
+        Some(name) if MONITOR_NAMES.contains(&name) => Ok(Some(name)),
+        Some(name) => Err(ArgError(format!(
+            "unknown monitor '{name}' (expected one of: {})",
+            MONITOR_NAMES.join(", ")
+        ))),
+    }
 }
 
 /// The run-identity header stamped into every `--trace-out`/`--metrics-out`
@@ -160,8 +273,9 @@ pub fn parse_scale(args: &Args) -> Result<ScaleConfig, ArgError> {
 }
 
 /// `starnuma run --workload W --system S [--replication FRAC] [--json]
-/// [--trace-out PATH] [--metrics-out PATH] [--progress]`
-pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
+/// [--trace-out PATH] [--metrics-out PATH] [--ledger DIR]
+/// [--strict-monitors] [--inject-monitor-fault NAME] [--progress]`
+pub fn cmd_run(args: &Args) -> Result<ExitCode, ArgError> {
     args.expect_only(&[
         "workload",
         "system",
@@ -174,6 +288,9 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
         "replication",
         "trace-out",
         "metrics-out",
+        "ledger",
+        "strict-monitors",
+        "inject-monitor-fault",
         "progress",
     ])?;
     configure_jobs(args)?;
@@ -182,14 +299,17 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
     let system = parse_system(args.get_or("system", "starnuma"))?;
     let scale = parse_scale(args)?;
     let observed = wants_obs(args);
-    let (result, report) = match args.get("replication") {
+    let fault = parse_fault(args)?;
+    let ledger = ledger_session(args);
+    let (result, report, config_digest) = match args.get("replication") {
         None => {
             let e = Experiment::new(workload, system, scale.clone());
+            let digest = fnv1a_digest(format!("{:?}", e.run_config()).as_bytes());
             if observed {
-                let (r, rep) = e.run_observed();
-                (r, Some(rep))
+                let (r, rep) = e.run_observed_faulted(fault);
+                (r, Some(rep), digest)
             } else {
-                (e.run(), None)
+                (e.run(), None, digest)
             }
         }
         Some(frac) => {
@@ -204,22 +324,28 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
                 workload.profile().footprint_pages,
                 frac,
             ));
+            let digest = fnv1a_digest(format!("{cfg:?}").as_bytes());
             let runner = starnuma::Runner::new(workload.profile(), cfg);
             if observed {
-                let (r, rep) = runner.run_with_obs();
-                (r, Some(rep))
+                let (r, rep) = runner.run_with_obs_faulted(fault);
+                (r, Some(rep), digest)
             } else {
-                (runner.run(), None)
+                (runner.run(), None, digest)
             }
         }
     };
+    let mut exit = ExitCode::SUCCESS;
     if let Some(rep) = &report {
         let meta = run_meta(workload.name(), system, &scale);
-        write_obs_outputs(args, &[(meta, rep)])?;
+        write_obs_outputs(args, &[(meta.clone(), rep)])?;
+        if let Some(session) = ledger {
+            session.append(&[(meta.clone(), config_digest, &result, rep)])?;
+        }
+        exit = enforce_monitors(args, &[(meta, rep)]);
     }
     if args.switch("json") {
         println!("{}", run_result_json(workload, system, &result).render());
-        return Ok(());
+        return Ok(exit);
     }
     println!("{workload} on {system}");
     println!("  per-core IPC      {:.3}", result.ipc);
@@ -250,12 +376,13 @@ pub fn cmd_run(args: &Args) -> Result<(), ArgError> {
             reps.regions_replicated, reps.peak_replica_pages, reps.collapses
         );
     }
-    Ok(())
+    Ok(exit)
 }
 
 /// `starnuma compare --workload W [--systems a,b,...] [--json]
-/// [--trace-out PATH] [--metrics-out PATH] [--progress]`
-pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
+/// [--trace-out PATH] [--metrics-out PATH] [--ledger DIR]
+/// [--strict-monitors] [--progress]`
+pub fn cmd_compare(args: &Args) -> Result<ExitCode, ArgError> {
     args.expect_only(&[
         "workload",
         "systems",
@@ -267,6 +394,8 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
         "json",
         "trace-out",
         "metrics-out",
+        "ledger",
+        "strict-monitors",
         "progress",
     ])?;
     configure_jobs(args)?;
@@ -279,6 +408,7 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
         .collect::<Result<_, _>>()?;
     let scale = parse_scale(args)?;
     let observed = wants_obs(args);
+    let ledger = ledger_session(args);
     // Fan every distinct system (plus the baseline, which anchors the
     // speedup column) out on the job pool; results are keyed for the
     // requested row order below.
@@ -300,6 +430,7 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
         })
         .into_iter()
         .collect();
+    let mut exit = ExitCode::SUCCESS;
     if observed {
         // One export section per distinct system, baseline first — the
         // same deterministic order the fan-out used.
@@ -313,6 +444,25 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
             })
             .collect();
         write_obs_outputs(args, &sections)?;
+        if let Some(session) = ledger {
+            let entries: Vec<(RunMeta, u64, &RunResult, &ObsReport)> = distinct
+                .iter()
+                .filter_map(|s| {
+                    let (result, rep) = &computed[s];
+                    let cfg = Experiment::new(workload, *s, scale.clone()).run_config();
+                    rep.as_ref().map(|rep| {
+                        (
+                            run_meta(workload.name(), *s, &scale),
+                            fnv1a_digest(format!("{cfg:?}").as_bytes()),
+                            result,
+                            rep,
+                        )
+                    })
+                })
+                .collect();
+            session.append(&entries)?;
+        }
+        exit = enforce_monitors(args, &sections);
     }
     let computed: BTreeMap<SystemKind, RunResult> =
         computed.into_iter().map(|(s, (r, _))| (s, r)).collect();
@@ -328,7 +478,7 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
                 .collect(),
         );
         println!("{}", arr.render());
-        return Ok(());
+        return Ok(exit);
     }
     println!("{workload}: comparison against {}", SystemKind::Baseline);
     println!(
@@ -345,12 +495,13 @@ pub fn cmd_compare(args: &Args) -> Result<(), ArgError> {
             r.ipc / baseline.ipc
         );
     }
-    Ok(())
+    Ok(exit)
 }
 
 /// `starnuma sweep --system S [--workloads a,b,...] [--json]
-/// [--trace-out PATH] [--metrics-out PATH] [--progress]`
-pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
+/// [--trace-out PATH] [--metrics-out PATH] [--ledger DIR]
+/// [--strict-monitors] [--progress]`
+pub fn cmd_sweep(args: &Args) -> Result<ExitCode, ArgError> {
     args.expect_only(&[
         "system",
         "workloads",
@@ -362,6 +513,8 @@ pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         "json",
         "trace-out",
         "metrics-out",
+        "ledger",
+        "strict-monitors",
         "progress",
     ])?;
     configure_jobs(args)?;
@@ -376,27 +529,52 @@ pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     };
     let scale = parse_scale(args)?;
     let observed = wants_obs(args);
+    let ledger = ledger_session(args);
     // One job per workload; each job runs the system and its baseline.
     // When observability output was requested, each job also carries back
-    // the *system* run's report (the baseline anchors speedups only).
-    let rows: Vec<(&str, f64, Option<ObsReport>)> = JobPool::global().run(workloads, |_, w| {
+    // the *system* run's result and report (the baseline anchors speedups
+    // only — the ledger records the system run).
+    type SweepRow = (Workload, f64, Option<(RunResult, ObsReport)>);
+    let rows: Vec<SweepRow> = JobPool::global().run(workloads, |_, w| {
         if observed {
-            let (speedup, _, _, sys_report, _) =
+            let (speedup, sys, _, sys_report, _) =
                 starnuma::speedup_vs_baseline_observed(w, system, &scale);
-            (w.name(), speedup, Some(sys_report))
+            (w, speedup, Some((sys, sys_report)))
         } else {
             let (speedup, _, _) = starnuma::speedup_vs_baseline(w, system, &scale);
-            (w.name(), speedup, None)
+            (w, speedup, None)
         }
     });
+    let mut exit = ExitCode::SUCCESS;
     if observed {
         let sections: Vec<(RunMeta, &ObsReport)> = rows
             .iter()
-            .filter_map(|(name, _, rep)| rep.as_ref().map(|r| (run_meta(name, system, &scale), r)))
+            .filter_map(|(w, _, obs)| {
+                obs.as_ref()
+                    .map(|(_, r)| (run_meta(w.name(), system, &scale), r))
+            })
             .collect();
         write_obs_outputs(args, &sections)?;
+        if let Some(session) = ledger {
+            let entries: Vec<(RunMeta, u64, &RunResult, &ObsReport)> = rows
+                .iter()
+                .filter_map(|(w, _, obs)| {
+                    let cfg = Experiment::new(*w, system, scale.clone()).run_config();
+                    obs.as_ref().map(|(result, rep)| {
+                        (
+                            run_meta(w.name(), system, &scale),
+                            fnv1a_digest(format!("{cfg:?}").as_bytes()),
+                            result,
+                            rep,
+                        )
+                    })
+                })
+                .collect();
+            session.append(&entries)?;
+        }
+        exit = enforce_monitors(args, &sections);
     }
-    let rows: Vec<(&str, f64)> = rows.iter().map(|(n, s, _)| (*n, *s)).collect();
+    let rows: Vec<(&str, f64)> = rows.iter().map(|(w, s, _)| (w.name(), *s)).collect();
     if args.switch("json") {
         // Self-describing output: a `meta` header (scale preset, worker
         // count, seed, version) plus the per-workload results — so a sweep
@@ -424,7 +602,7 @@ pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         );
         let doc = Json::Obj(vec![("meta".into(), meta), ("results".into(), results)]);
         println!("{}", doc.render());
-        return Ok(());
+        return Ok(exit);
     }
     println!(
         "speedup of {system} over {} per workload:\n",
@@ -433,7 +611,7 @@ pub fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     print!("{}", starnuma::chart::speedup_chart(&rows, 40));
     let speedups: Vec<f64> = rows.iter().map(|(_, s)| *s).collect();
     println!("{:<10} geomean {:.2}x", "", geomean(&speedups));
-    Ok(())
+    Ok(exit)
 }
 
 /// `starnuma topology [--sockets N] [--full-scale] [--dot PATH]`
@@ -705,7 +883,7 @@ pub fn cmd_lint(args: &Args) -> Result<ExitCode, ArgError> {
 /// (plus optional folded stacks for flamegraph tooling). Profiling never
 /// feeds back into the simulation, so the wrapped command's outputs are
 /// bit-identical to an unprofiled invocation.
-pub fn cmd_profile(args: &Args) -> Result<(), ArgError> {
+pub fn cmd_profile(args: &Args) -> Result<ExitCode, ArgError> {
     let sub = args
         .subcommand()
         .filter(|s| matches!(*s, "run" | "compare" | "sweep"))
@@ -730,7 +908,7 @@ pub fn cmd_profile(args: &Args) -> Result<(), ArgError> {
     let wall_ns = timer.elapsed_ns();
     prof::set_enabled(false);
     let report = prof::take_report();
-    dispatched?;
+    let exit = dispatched?;
     println!();
     print!("{}", report.render_tree(wall_ns));
     write_out(
@@ -742,7 +920,7 @@ pub fn cmd_profile(args: &Args) -> Result<(), ArgError> {
         write_out(path, &report.folded())?;
         println!("wrote folded stacks to {path}");
     }
-    Ok(())
+    Ok(exit)
 }
 
 /// Loads bench metrics from a flat JSON object file or a
@@ -904,6 +1082,388 @@ pub fn cmd_bench_diff(raw: &[String]) -> Result<ExitCode, ArgError> {
     }
 }
 
+/// Like [`load_bench_metrics`], but keeps the *first* value seen per key
+/// — the history file's oldest state, which `starnuma report` diffs
+/// against the newest to show how the benches moved over the whole file.
+fn load_bench_first_state(path: &str) -> Result<BTreeMap<String, f64>, ArgError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let mut metrics = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line)
+            .ok_or_else(|| ArgError(format!("{path}:{}: not a flat JSON object line", i + 1)))?;
+        for (key, value) in obj {
+            if matches!(
+                key.as_str(),
+                "bench" | "schema_version" | "smoke" | "version"
+            ) {
+                continue;
+            }
+            if let JsonValue::Num(n) = value {
+                if n.is_finite() {
+                    metrics.entry(key).or_insert(n);
+                }
+            }
+        }
+    }
+    Ok(metrics)
+}
+
+/// One (workload, system) trend group for `starnuma report`, in ledger
+/// file order (oldest first).
+struct TrendGroup<'a> {
+    workload: &'a str,
+    system: &'a str,
+    records: Vec<&'a RunRecord>,
+}
+
+/// One determinism-drift flag: the same (workload, system, preset,
+/// config digest, seed) produced more than one result digest.
+struct DriftFlag<'a> {
+    workload: &'a str,
+    system: &'a str,
+    preset: &'a str,
+    seed: u64,
+    config_digest: u64,
+    result_digests: Vec<u64>,
+    versions: Vec<&'a str>,
+}
+
+/// `starnuma report [--ledger DIR] [--bench-history PATH]
+/// [--tolerance FRAC] [--json|--markdown]`: cross-run trends from the
+/// run ledger — per-experiment IPC/p95 series with sparklines, monitor
+/// totals, determinism-drift flags (same config digest + seed, different
+/// result digest), and a first-vs-latest bench-history diff. Exits
+/// non-zero on any monitor violation or drift flag, so CI can gate on it.
+pub fn cmd_report(args: &Args) -> Result<ExitCode, ArgError> {
+    args.expect_only(&[
+        "ledger",
+        "bench-history",
+        "tolerance",
+        "json",
+        "markdown",
+        "jobs",
+    ])?;
+    let dir = ledger_dir(args).ok_or_else(|| {
+        ArgError("report needs a ledger: pass --ledger DIR or set STARNUMA_LEDGER".into())
+    })?;
+    let ledger_path = std::path::Path::new(&dir).join(LEDGER_FILE);
+    let shown_path = ledger_path.display().to_string();
+    let text = std::fs::read_to_string(&ledger_path)
+        .map_err(|e| ArgError(format!("cannot read {shown_path}: {e}")))?;
+    let mut records: Vec<RunRecord> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(RunRecord::from_json_line(line).ok_or_else(|| {
+            ArgError(format!(
+                "{shown_path}:{}: not a valid ledger record (schema {})",
+                i + 1,
+                starnuma::obs::LEDGER_SCHEMA_VERSION
+            ))
+        })?);
+    }
+    let tolerance = {
+        let v = args.get_or("tolerance", "0.2");
+        v.parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| {
+                ArgError(format!(
+                    "--tolerance expects a non-negative fraction, got '{v}'"
+                ))
+            })?
+    };
+
+    // Group into per-experiment trends, preserving file order inside each
+    // group (the ledger is append-only, so file order is time order).
+    let mut groups: BTreeMap<(&str, &str), Vec<&RunRecord>> = BTreeMap::new();
+    for r in &records {
+        groups
+            .entry((r.workload.as_str(), r.system.as_str()))
+            .or_default()
+            .push(r);
+    }
+    let groups: Vec<TrendGroup> = groups
+        .into_iter()
+        .map(|((workload, system), records)| TrendGroup {
+            workload,
+            system,
+            records,
+        })
+        .collect();
+
+    // Determinism drift: identical (workload, system, preset, config
+    // digest, seed) must always reproduce the same result digest.
+    // (workload, system, preset, config digest, seed) → the distinct
+    // result digests and crate versions that identity produced.
+    type DriftKey<'a> = (&'a str, &'a str, &'a str, u64, u64);
+    let mut by_identity: BTreeMap<DriftKey, (Vec<u64>, Vec<&str>)> = BTreeMap::new();
+    for r in &records {
+        let key = (
+            r.workload.as_str(),
+            r.system.as_str(),
+            r.preset.as_str(),
+            r.config_digest,
+            r.seed,
+        );
+        let (digests, versions) = by_identity.entry(key).or_default();
+        if !digests.contains(&r.result_digest) {
+            digests.push(r.result_digest);
+        }
+        if !versions.contains(&r.version.as_str()) {
+            versions.push(r.version.as_str());
+        }
+    }
+    let drift: Vec<DriftFlag> = by_identity
+        .into_iter()
+        .filter(|(_, (digests, _))| digests.len() > 1)
+        .map(
+            |((workload, system, preset, config_digest, seed), (result_digests, versions))| {
+                DriftFlag {
+                    workload,
+                    system,
+                    preset,
+                    seed,
+                    config_digest,
+                    result_digests,
+                    versions,
+                }
+            },
+        )
+        .collect();
+
+    let checks: u64 = records.iter().map(|r| r.monitor_checks).sum();
+    let violations: u64 = records.iter().map(|r| r.monitor_violations).sum();
+
+    // Bench history: explicit flag wins, then the env override, then the
+    // default file name if it exists in the working directory.
+    let bench_path = args
+        .get("bench-history")
+        .map(str::to_string)
+        .or_else(|| {
+            std::env::var("STARNUMA_BENCH_HISTORY")
+                .ok()
+                .filter(|v| !v.is_empty())
+        })
+        .or_else(|| {
+            let default = "BENCH_history.jsonl";
+            std::path::Path::new(default)
+                .exists()
+                .then(|| default.to_string())
+        });
+    let bench = match &bench_path {
+        Some(path) => {
+            let first = load_bench_first_state(path)?;
+            let latest = load_bench_metrics(path)?;
+            let (table, regressions) = bench_diff_report(&first, &latest, tolerance);
+            Some((path.clone(), table, regressions))
+        }
+        None => None,
+    };
+
+    let trend_row = |g: &TrendGroup| -> (f64, f64, f64, String) {
+        let ipc_series: Vec<f64> = g.records.iter().map(|r| r.ipc).collect();
+        let last = *ipc_series.last().unwrap_or(&0.0);
+        let delta = if ipc_series.len() >= 2 {
+            last - ipc_series[ipc_series.len() - 2]
+        } else {
+            0.0
+        };
+        let p95 = g.records.last().map_or(0.0, |r| r.overall.p95_ns);
+        (last, delta, p95, sparkline(&ipc_series))
+    };
+
+    if args.switch("json") {
+        let experiments = Json::Arr(
+            groups
+                .iter()
+                .map(|g| {
+                    let (last, delta, p95, _) = trend_row(g);
+                    Json::Obj(vec![
+                        ("workload".into(), Json::Str(g.workload.into())),
+                        ("system".into(), Json::Str(g.system.into())),
+                        ("runs".into(), Json::Num(g.records.len() as f64)),
+                        ("ipc_last".into(), Json::Num(last)),
+                        ("ipc_delta".into(), Json::Num(delta)),
+                        ("p95_ns_last".into(), Json::Num(p95)),
+                        (
+                            "ipc_series".into(),
+                            Json::Arr(g.records.iter().map(|r| Json::Num(r.ipc)).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let drift_json = Json::Arr(
+            drift
+                .iter()
+                .map(|d| {
+                    Json::Obj(vec![
+                        ("workload".into(), Json::Str(d.workload.into())),
+                        ("system".into(), Json::Str(d.system.into())),
+                        ("preset".into(), Json::Str(d.preset.into())),
+                        ("seed".into(), Json::Num(d.seed as f64)),
+                        (
+                            "config_digest".into(),
+                            Json::Str(digest_hex(d.config_digest)),
+                        ),
+                        (
+                            "result_digests".into(),
+                            Json::Arr(
+                                d.result_digests
+                                    .iter()
+                                    .map(|x| Json::Str(digest_hex(*x)))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "versions".into(),
+                            Json::Arr(
+                                d.versions
+                                    .iter()
+                                    .map(|v| Json::Str((*v).to_string()))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let mut doc = vec![
+            ("ledger".into(), Json::Str(shown_path.clone())),
+            ("records".into(), Json::Num(records.len() as f64)),
+            ("experiments".into(), experiments),
+            (
+                "monitors".into(),
+                Json::Obj(vec![
+                    ("checks".into(), Json::Num(checks as f64)),
+                    ("violations".into(), Json::Num(violations as f64)),
+                ]),
+            ),
+            ("drift".into(), drift_json),
+        ];
+        if let Some((path, _, regressions)) = &bench {
+            doc.push((
+                "bench".into(),
+                Json::Obj(vec![
+                    ("history".into(), Json::Str(path.clone())),
+                    ("regressions".into(), Json::Num(*regressions as f64)),
+                ]),
+            ));
+        }
+        println!("{}", Json::Obj(doc).render());
+    } else if args.switch("markdown") {
+        println!("# starnuma report");
+        println!();
+        println!("ledger `{shown_path}`: {} record(s)", records.len());
+        println!();
+        println!("| workload | system | runs | IPC (last) | ΔIPC | p95 ns (last) | IPC trend |");
+        println!("|---|---|---:|---:|---:|---:|---|");
+        for g in &groups {
+            let (last, delta, p95, spark) = trend_row(g);
+            println!(
+                "| {} | {} | {} | {last:.3} | {delta:+.3} | {p95:.0} | `{spark}` |",
+                g.workload,
+                g.system,
+                g.records.len(),
+            );
+        }
+        println!();
+        println!("monitors: {checks} check(s), {violations} violation(s)");
+        println!();
+        if drift.is_empty() {
+            println!("determinism drift: none");
+        } else {
+            println!("## determinism drift");
+            println!();
+            for d in &drift {
+                println!(
+                    "- **{} on {}** [{} seed {} config `{}`]: {} result digests ({}) across versions {}",
+                    d.workload,
+                    d.system,
+                    d.preset,
+                    d.seed,
+                    digest_hex(d.config_digest),
+                    d.result_digests.len(),
+                    d.result_digests
+                        .iter()
+                        .map(|x| digest_hex(*x))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    d.versions.join(", "),
+                );
+            }
+        }
+        if let Some((path, table, regressions)) = &bench {
+            println!();
+            println!("## bench history `{path}` (first vs latest)");
+            println!();
+            println!("```");
+            print!("{table}");
+            println!("```");
+            println!();
+            println!("{regressions} regression(s) beyond the tolerance band");
+        }
+    } else {
+        println!("run ledger {shown_path}: {} record(s)", records.len());
+        if !groups.is_empty() {
+            println!("experiment trends (oldest -> newest):");
+            println!(
+                "{:<10} {:<30} {:>5} {:>10} {:>8} {:>10}  trend",
+                "workload", "system", "runs", "IPC last", "dIPC", "p95(ns)"
+            );
+            for g in &groups {
+                let (last, delta, p95, spark) = trend_row(g);
+                println!(
+                    "{:<10} {:<30} {:>5} {last:>10.3} {delta:>+8.3} {p95:>10.0}  |{spark}|",
+                    g.workload,
+                    g.system,
+                    g.records.len(),
+                );
+            }
+        }
+        println!("monitors: {checks} check(s), {violations} violation(s)");
+        if drift.is_empty() {
+            println!("determinism drift: none");
+        } else {
+            println!("determinism drift: {} flag(s)", drift.len());
+            for d in &drift {
+                println!(
+                    "  {} on {} [{} seed {} config {}]: {} result digests across versions {}",
+                    d.workload,
+                    d.system,
+                    d.preset,
+                    d.seed,
+                    digest_hex(d.config_digest),
+                    d.result_digests.len(),
+                    d.versions.join(", "),
+                );
+                for x in &d.result_digests {
+                    println!("    {}", digest_hex(*x));
+                }
+            }
+        }
+        if let Some((path, table, regressions)) = &bench {
+            println!(
+                "bench history {path} (first vs latest, tolerance {:.0}%):",
+                tolerance * 100.0
+            );
+            print!("{table}");
+            println!("{regressions} regression(s) beyond the tolerance band");
+        }
+    }
+    if violations > 0 || !drift.is_empty() {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 /// One run's worth of parsed trace lines: the `meta` header plus its
 /// `event`/`hist`/`counters` lines. A multi-run file (from `compare` or
 /// `sweep --trace-out`) concatenates sections.
@@ -1014,6 +1574,11 @@ fn render_section(section: &TraceSection, top: usize) {
         .iter()
         .map(|e| num_of(e, "phase") as u64)
         .max();
+    if section.events.is_empty() {
+        // Zero-event traces are legal (a run can complete without a single
+        // journal event); say so instead of printing an empty timeline.
+        println!("  (no events recorded)");
+    }
     if let Some(max_phase) = max_phase {
         println!("migration timeline:");
         for phase in 0..=max_phase {
@@ -1022,6 +1587,12 @@ fn render_section(section: &TraceSection, top: usize) {
                 .iter()
                 .filter(|e| num_of(e, "phase") as u64 == phase)
                 .collect();
+            if in_phase.is_empty() {
+                // A phase no event mentions has nothing to report; a
+                // placeholder "0 regions -> 0 pages" row would just be
+                // noise.
+                continue;
+            }
             let mut line = format!("  phase {phase}:");
             if let Some(cp) = in_phase
                 .iter()
@@ -1109,13 +1680,18 @@ fn render_section(section: &TraceSection, top: usize) {
                 Some(JsonValue::Arr(b)) => b.clone(),
                 _ => Vec::new(),
             };
+            // An empty histogram has no p95; render `-` rather than a
+            // `0 ns` that is indistinguishable from a real measurement.
+            let p95 = match try_percentile_from_counts(&buckets, 0.95) {
+                Some(p) => format!("{p:>7.0}"),
+                None => format!("{:>7}", "-"),
+            };
             println!(
-                "  socket {:>3} {:<10} count {:>10} mean {:>7.0} ns p95 {:>7.0} ns |{}|",
+                "  socket {:>3} {:<10} count {:>10} mean {:>7.0} ns p95 {p95} ns |{}|",
                 num_of(h, "socket"),
                 str_of(h, "class"),
                 num_of(h, "count"),
                 num_of(h, "mean_ns"),
-                percentile_from_counts(&buckets, 0.95),
                 sparkline(&buckets),
             );
         }

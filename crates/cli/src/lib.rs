@@ -52,10 +52,11 @@ pub fn run(raw: Vec<String>) -> Result<ExitCode, ArgError> {
     }
     let args = Args::parse(raw)?;
     match args.command() {
-        "run" => commands::cmd_run(&args).map(|()| ExitCode::SUCCESS),
-        "profile" => commands::cmd_profile(&args).map(|()| ExitCode::SUCCESS),
-        "compare" => commands::cmd_compare(&args).map(|()| ExitCode::SUCCESS),
-        "sweep" => commands::cmd_sweep(&args).map(|()| ExitCode::SUCCESS),
+        "run" => commands::cmd_run(&args),
+        "profile" => commands::cmd_profile(&args),
+        "compare" => commands::cmd_compare(&args),
+        "sweep" => commands::cmd_sweep(&args),
+        "report" => commands::cmd_report(&args),
         "topology" => commands::cmd_topology(&args).map(|()| ExitCode::SUCCESS),
         "workloads" => commands::cmd_workloads(&args).map(|()| ExitCode::SUCCESS),
         "trace" => commands::cmd_trace(&args).map(|()| ExitCode::SUCCESS),
@@ -98,6 +99,17 @@ commands:
             total, calls, ns/call); results stay bit-identical
               --profile-out <path>     attribution JSON (default profile.json)
               --folded-out <path>      folded stacks for flamegraph tooling
+  report    cross-run trends from the run ledger: per-experiment IPC
+            and p95 series with sparklines, monitor totals, and
+            determinism-drift flags (same config digest + seed but a
+            different result digest); exits non-zero on any monitor
+            violation or drift flag
+              --ledger <dir>           ledger directory (or STARNUMA_LEDGER)
+              --bench-history <path>   also diff a BENCH_history.jsonl
+                                       first-vs-latest (default: the file
+                                       in the working directory, if any)
+              --tolerance <frac>       bench regression band (default 0.2)
+              --json | --markdown      machine-readable / markdown output
   bench-diff compare two bench-metric files (flat JSON object or
             BENCH_history.jsonl; later history lines supersede earlier):
             starnuma bench-diff <old> <new> [--tolerance FRAC]
@@ -140,6 +152,14 @@ observability (run, compare, sweep):
   --trace-out <path>    structured JSONL: events + per-socket histograms
   --metrics-out <path>  per-phase + merged metrics JSON
   --progress            live `k/n runs complete` + ETA lines on stderr
+  --ledger <dir>        append one schema-versioned record per run to
+                        <dir>/runs.jsonl (or set STARNUMA_LEDGER);
+                        read it back with `starnuma report`
+  --strict-monitors     exit non-zero if any online invariant monitor
+                        (pool occupancy, migration limit, histogram
+                        totals, counter monotonicity) fires
+  --inject-monitor-fault <name>  (run only) force the named monitor to
+                        fire once, to test the monitoring path itself
 
 systems: baseline, first-touch, isobw, 2xbw, baseline-static,
          starnuma (t16), t0, halfbw, cxlswitch, smallpool, starnuma-static"

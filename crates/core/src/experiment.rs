@@ -235,6 +235,14 @@ impl Experiment {
     /// the winner's report is returned, so the report always describes the
     /// result that is reported.
     pub fn run_observed(&self) -> (RunResult, ObsReport) {
+        self.run_observed_faulted(None)
+    }
+
+    /// [`Experiment::run_observed`] with an optional one-shot injected
+    /// monitor fault (`Some(monitor_name)`), armed on every candidate
+    /// run's sink — the deterministic hook `--inject-monitor-fault` and
+    /// the failure-injection tests use to prove violations surface.
+    pub fn run_observed_faulted(&self, fault: Option<&str>) -> (RunResult, ObsReport) {
         let profile = self.workload.profile();
         let tunes_limit = matches!(
             self.system,
@@ -245,8 +253,9 @@ impl Experiment {
             dynamic_cfg.migration = MigrationMode::OracleDynamic;
             let mut zero_cfg = self.run_config();
             zero_cfg.migration = MigrationMode::FirstTouchOnly;
-            let mut results = JobPool::global().run(vec![dynamic_cfg, zero_cfg], |_, cfg| {
-                Runner::new(profile.clone(), cfg).run_with_obs()
+            let fault: Option<String> = fault.map(str::to_string);
+            let mut results = JobPool::global().run(vec![dynamic_cfg, zero_cfg], move |_, cfg| {
+                Runner::new(profile.clone(), cfg).run_with_obs_faulted(fault.as_deref())
             });
             // The pool returns exactly one result per job, in input order.
             let zero = results.remove(1);
@@ -257,7 +266,7 @@ impl Experiment {
                 dynamic
             }
         } else {
-            Runner::new(profile, self.run_config()).run_with_obs()
+            Runner::new(profile, self.run_config()).run_with_obs_faulted(fault)
         }
     }
 }

@@ -47,15 +47,21 @@
 
 mod export;
 mod journal;
+mod ledger;
 mod metrics;
+mod monitor;
 mod sink;
 
 pub use export::{
     chrome_trace_json, metrics_json, parse_flat_object, trace_jsonl, JsonValue, RunMeta,
 };
 pub use journal::{Event, EventCategory, EventJournal, EventLevel, FieldValue};
-pub use metrics::{
-    percentile_from_counts, LatencyHistogram, MetricsFrame, MetricsRegistry, Observe,
-    SocketMetrics, HIST_BUCKETS, NUM_CLASSES,
+pub use ledger::{
+    ClassSummary, RunExtras, RunRecord, SiteSummary, LEDGER_FILE, LEDGER_SCHEMA_VERSION,
 };
+pub use metrics::{
+    percentile_from_counts, try_percentile_from_counts, LatencyHistogram, MetricsFrame,
+    MetricsRegistry, Observe, SocketMetrics, HIST_BUCKETS, NUM_CLASSES,
+};
+pub use monitor::{MonitorReport, MonitorSet, MonitorViolation, PhaseCheck, MONITOR_NAMES};
 pub use sink::{ObsReport, ObsSink, DEFAULT_JOURNAL_CAPACITY};

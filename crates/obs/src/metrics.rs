@@ -130,6 +130,17 @@ impl LatencyHistogram {
     pub fn p99_ns(&self) -> f64 {
         self.percentile_ns(0.99)
     }
+
+    /// Like [`percentile_ns`](Self::percentile_ns), but `None` for an
+    /// empty histogram — distinguishing "no samples" from a true 0 ns
+    /// percentile.
+    pub fn try_percentile_ns(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.percentile_ns(p))
+        }
+    }
 }
 
 /// Percentile estimation over raw log2 bucket counts (the shape exported
@@ -168,6 +179,18 @@ pub fn percentile_from_counts(counts: &[f64], p: f64) -> f64 {
     // ceiling was returned above; reaching here means all buckets were
     // empty or non-finite.
     0.0
+}
+
+/// Like [`percentile_from_counts`], but `None` when the histogram holds
+/// no samples — callers that render percentiles can show `-` instead of
+/// a misleading `0`.
+pub fn try_percentile_from_counts(counts: &[f64], p: f64) -> Option<f64> {
+    let total: f64 = counts.iter().copied().filter(|c| c.is_finite()).sum();
+    if total <= 0.0 {
+        None
+    } else {
+        Some(percentile_from_counts(counts, p))
+    }
 }
 
 /// Per-socket metrics: one latency histogram per access class.

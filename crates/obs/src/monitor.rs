@@ -1,0 +1,227 @@
+//! Online invariant monitors evaluated at phase barriers.
+//!
+//! The paper-invariant suite (`tests/paper_invariants.rs`) checks model
+//! properties *after* a run; the monitors here promote the checkable
+//! subset to live runtime checks. At every phase barrier the simulator
+//! hands the sink a [`PhaseCheck`] snapshot and the [`MonitorSet`]
+//! evaluates four invariants:
+//!
+//! | monitor             | invariant                                        |
+//! |---------------------|--------------------------------------------------|
+//! | `pool_occupancy`    | resident pool pages ≤ pool capacity              |
+//! | `migration_limit`   | planned moves per phase ≤ `migration_limit_pages`|
+//! | `histogram_total`   | frame histogram samples == recorded accesses     |
+//! | `counter_monotonic` | cumulative substrate counters never decrease     |
+//!
+//! Evaluation is pure arithmetic over the snapshot — deterministic by
+//! construction — and a healthy run produces **zero** violations, so
+//! enabling monitors never perturbs observable output (the equivalence
+//! gate digests stay intact). Violations are summarized here and emitted
+//! as `monitor_violation` journal events by the sink.
+
+/// Phase-barrier snapshot the simulator hands to the monitors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PhaseCheck {
+    /// Phase index being sealed.
+    pub phase: u32,
+    /// Pages currently resident in the CXL pool.
+    pub pool_pages: u64,
+    /// Pool capacity in pages.
+    pub pool_capacity_pages: u64,
+    /// Pages the migration plan moved this phase.
+    pub planned_moves: u64,
+    /// Per-phase migration budget from the run config.
+    pub migration_limit_pages: u64,
+    /// Accesses the timing model counted this phase.
+    pub memory_accesses: u64,
+    /// Whether every cumulative substrate counter grew monotonically
+    /// since the previous barrier.
+    pub substrate_counters_monotone: bool,
+}
+
+/// One invariant breach: which monitor fired, where, and the two numbers
+/// that disagreed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MonitorViolation {
+    /// Monitor name (see the module table).
+    pub monitor: &'static str,
+    /// Phase at which the check failed.
+    pub phase: u32,
+    /// The observed value.
+    pub observed: u64,
+    /// The bound or expected value it was checked against.
+    pub limit: u64,
+}
+
+/// Verdict of a run's monitors: how many barrier evaluations ran and
+/// every violation they produced, in phase order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MonitorReport {
+    /// Number of phase barriers evaluated.
+    pub checks: u64,
+    /// All violations, in evaluation order.
+    pub violations: Vec<MonitorViolation>,
+}
+
+impl MonitorReport {
+    /// Whether any monitor fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Names of the monitors a fault can be injected into, in evaluation
+/// order.
+pub const MONITOR_NAMES: [&str; 4] = [
+    "pool_occupancy",
+    "migration_limit",
+    "histogram_total",
+    "counter_monotonic",
+];
+
+/// The live monitor set owned by an enabled sink.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MonitorSet {
+    report: MonitorReport,
+    /// Test hook: a monitor name forced to fire at the next evaluation
+    /// (exactly once), proving the violation path end to end.
+    forced_fault: Option<&'static str>,
+}
+
+impl MonitorSet {
+    /// A fresh set with no recorded checks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a one-shot injected fault: `monitor` (one of
+    /// [`MONITOR_NAMES`]) fires at the next evaluation regardless of the
+    /// snapshot. Unknown names are ignored.
+    pub fn arm_fault(&mut self, monitor: &str) {
+        self.forced_fault = MONITOR_NAMES.iter().find(|m| **m == monitor).copied();
+    }
+
+    /// Evaluates every monitor against one barrier snapshot.
+    /// `recorded_accesses` is the sink-side histogram total for the frame
+    /// being sealed. Returns the violations produced by *this* barrier
+    /// (also accumulated into the report).
+    pub fn evaluate(
+        &mut self,
+        check: &PhaseCheck,
+        recorded_accesses: u64,
+    ) -> Vec<MonitorViolation> {
+        self.report.checks += 1;
+        let mut fired = Vec::new();
+        if check.pool_pages > check.pool_capacity_pages {
+            fired.push(MonitorViolation {
+                monitor: "pool_occupancy",
+                phase: check.phase,
+                observed: check.pool_pages,
+                limit: check.pool_capacity_pages,
+            });
+        }
+        if check.planned_moves > check.migration_limit_pages {
+            fired.push(MonitorViolation {
+                monitor: "migration_limit",
+                phase: check.phase,
+                observed: check.planned_moves,
+                limit: check.migration_limit_pages,
+            });
+        }
+        if recorded_accesses != check.memory_accesses {
+            fired.push(MonitorViolation {
+                monitor: "histogram_total",
+                phase: check.phase,
+                observed: recorded_accesses,
+                limit: check.memory_accesses,
+            });
+        }
+        if !check.substrate_counters_monotone {
+            fired.push(MonitorViolation {
+                monitor: "counter_monotonic",
+                phase: check.phase,
+                observed: check.phase.into(),
+                limit: 0,
+            });
+        }
+        if let Some(name) = self.forced_fault.take() {
+            fired.push(MonitorViolation {
+                monitor: name,
+                phase: check.phase,
+                observed: u64::MAX,
+                limit: 0,
+            });
+        }
+        self.report.violations.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// Consumes the set, yielding the accumulated verdict.
+    pub fn into_report(self) -> MonitorReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy(phase: u32) -> PhaseCheck {
+        PhaseCheck {
+            phase,
+            pool_pages: 10,
+            pool_capacity_pages: 100,
+            planned_moves: 5,
+            migration_limit_pages: 8,
+            memory_accesses: 1_000,
+            substrate_counters_monotone: true,
+        }
+    }
+
+    #[test]
+    fn healthy_barriers_are_clean() {
+        let mut set = MonitorSet::new();
+        for phase in 0..4 {
+            assert!(set.evaluate(&healthy(phase), 1_000).is_empty());
+        }
+        let report = set.into_report();
+        assert_eq!(report.checks, 4);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn each_monitor_fires_on_its_invariant() {
+        let mut set = MonitorSet::new();
+        let mut c = healthy(0);
+        c.pool_pages = 101;
+        c.planned_moves = 9;
+        c.substrate_counters_monotone = false;
+        let fired = set.evaluate(&c, 999);
+        let names: Vec<&str> = fired.iter().map(|v| v.monitor).collect();
+        assert_eq!(names, MONITOR_NAMES);
+        assert_eq!(fired[0].observed, 101);
+        assert_eq!(fired[0].limit, 100);
+        assert_eq!(fired[2].observed, 999);
+        assert_eq!(fired[2].limit, 1_000);
+        assert_eq!(set.into_report().violations.len(), 4);
+    }
+
+    #[test]
+    fn injected_fault_fires_exactly_once() {
+        let mut set = MonitorSet::new();
+        set.arm_fault("pool_occupancy");
+        assert_eq!(set.evaluate(&healthy(0), 1_000).len(), 1);
+        assert!(set.evaluate(&healthy(1), 1_000).is_empty());
+        let report = set.into_report();
+        assert_eq!(report.checks, 2);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].monitor, "pool_occupancy");
+    }
+
+    #[test]
+    fn unknown_fault_name_is_ignored() {
+        let mut set = MonitorSet::new();
+        set.arm_fault("no_such_monitor");
+        assert!(set.evaluate(&healthy(0), 1_000).is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::journal::{EventCategory, EventJournal, EventLevel, FieldValue};
 use crate::metrics::{MetricsFrame, MetricsRegistry, Observe, NUM_CLASSES};
+use crate::monitor::{MonitorReport, MonitorSet, PhaseCheck};
 
 /// Default event-journal ring capacity used by the harness.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
@@ -23,6 +24,10 @@ pub struct ObsReport {
     pub events: Vec<crate::journal::Event>,
     /// Events the ring buffer shed.
     pub dropped_events: u64,
+    /// Verdict of the online invariant monitors (all-zero when the sink
+    /// never saw a phase barrier, e.g. in unit tests driving the sink
+    /// directly).
+    pub monitor: MonitorReport,
 }
 
 /// The per-run observability handle.
@@ -38,6 +43,7 @@ pub struct ObsSink {
     frame: MetricsFrame,
     registry: MetricsRegistry,
     journal: EventJournal,
+    monitors: MonitorSet,
 }
 
 impl ObsSink {
@@ -49,6 +55,7 @@ impl ObsSink {
             frame: MetricsFrame::new(0, 0),
             registry: MetricsRegistry::new(0, [""; NUM_CLASSES]),
             journal: EventJournal::new(1),
+            monitors: MonitorSet::new(),
         }
     }
 
@@ -66,6 +73,7 @@ impl ObsSink {
             frame: MetricsFrame::new(0, num_sockets),
             registry: MetricsRegistry::new(num_sockets, class_labels),
             journal: EventJournal::new(journal_capacity),
+            monitors: MonitorSet::new(),
         }
     }
 
@@ -146,6 +154,46 @@ impl ObsSink {
             .push(self.phase, level, category, name, fields());
     }
 
+    /// Arms a one-shot injected monitor fault (test/CLI hook; see
+    /// [`MonitorSet::arm_fault`]). No-op on a disabled sink.
+    pub fn arm_monitor_fault(&mut self, monitor: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.monitors.arm_fault(monitor);
+    }
+
+    /// Evaluates the invariant monitors against one phase-barrier
+    /// snapshot. Call before [`end_phase`](Self::end_phase) so the
+    /// in-flight frame's histogram total is still addressable. Violations
+    /// become Warn-level `monitor_violation` journal events; healthy
+    /// barriers emit nothing, so enabling monitors never changes the
+    /// exports of a clean run.
+    pub fn check_monitors(&mut self, check: &PhaseCheck) {
+        if !self.enabled {
+            return;
+        }
+        let recorded: u64 = self
+            .frame
+            .sockets
+            .iter()
+            .map(crate::metrics::SocketMetrics::total_count)
+            .sum();
+        for v in self.monitors.evaluate(check, recorded) {
+            self.journal.push(
+                self.phase,
+                EventLevel::Warn,
+                EventCategory::Monitor,
+                "monitor_violation",
+                vec![
+                    ("monitor", FieldValue::Str(v.monitor.to_string())),
+                    ("observed", FieldValue::U64(v.observed)),
+                    ("limit", FieldValue::U64(v.limit)),
+                ],
+            );
+        }
+    }
+
     /// Finishes the run: seals any non-empty in-flight frame and returns
     /// the report.
     pub fn finish(mut self) -> ObsReport {
@@ -157,6 +205,7 @@ impl ObsSink {
             metrics: self.registry,
             events,
             dropped_events,
+            monitor: self.monitors.into_report(),
         }
     }
 }
@@ -233,6 +282,51 @@ mod tests {
         assert_eq!(report.events[0].seq, 0);
         assert_eq!(report.events[1].phase, 2);
         assert_eq!(report.events[1].seq, 1);
+    }
+
+    #[test]
+    fn monitor_violations_become_journal_events() {
+        use crate::monitor::PhaseCheck;
+        let healthy = PhaseCheck {
+            phase: 0,
+            pool_pages: 1,
+            pool_capacity_pages: 8,
+            planned_moves: 0,
+            migration_limit_pages: 4,
+            memory_accesses: 1,
+            substrate_counters_monotone: true,
+        };
+        // Clean barrier: checks counted, no events, report stays clean.
+        let mut sink = ObsSink::enabled(1, LABELS, 64);
+        sink.begin_phase(0);
+        sink.record_access(0, 0, 100.0);
+        sink.check_monitors(&healthy);
+        sink.end_phase();
+        let report = sink.finish();
+        assert_eq!(report.monitor.checks, 1);
+        assert!(report.monitor.is_clean());
+        assert!(report.events.is_empty());
+
+        // Histogram mismatch fires and lands in the journal.
+        let mut sink = ObsSink::enabled(1, LABELS, 64);
+        sink.begin_phase(0);
+        sink.check_monitors(&healthy); // 0 recorded != 1 counted
+        sink.end_phase();
+        let report = sink.finish();
+        assert_eq!(report.monitor.violations.len(), 1);
+        assert_eq!(report.monitor.violations[0].monitor, "histogram_total");
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].name, "monitor_violation");
+        assert_eq!(report.events[0].category, EventCategory::Monitor);
+
+        // Disabled sinks ignore both arming and checking.
+        let mut off = ObsSink::disabled();
+        off.arm_monitor_fault("pool_occupancy");
+        off.check_monitors(&healthy);
+        assert_eq!(
+            off.finish().monitor,
+            crate::monitor::MonitorReport::default()
+        );
     }
 
     #[test]

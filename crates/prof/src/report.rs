@@ -111,6 +111,24 @@ impl ProfReport {
         out
     }
 
+    /// The `n` hottest top-level sites: `(label, inclusive ns, calls)`
+    /// tuples for root-parented merged edges, heaviest first (ties broken
+    /// by site order, so the ranking is deterministic). This is the
+    /// summary the run ledger persists per run.
+    pub fn top_sites(&self, n: usize) -> Vec<(String, u64, u64)> {
+        let mut roots: Vec<ProfEdge> = self
+            .merged_edges()
+            .into_iter()
+            .filter(|e| e.parent.is_none())
+            .collect();
+        roots.sort_by_key(|e| (std::cmp::Reverse(e.ns), e.site.index()));
+        roots
+            .into_iter()
+            .take(n)
+            .map(|e| (e.site.label().to_string(), e.ns, e.calls))
+            .collect()
+    }
+
     /// Total nanoseconds attributed at the top level (root-parented edges)
     /// across all phases. This is what the ≥ 90 %-of-wall acceptance check
     /// compares against command wall time.
@@ -385,6 +403,21 @@ mod tests {
     #[test]
     fn attributed_sums_root_edges_only() {
         assert_eq!(sample().attributed_ns(), 10_000);
+    }
+
+    #[test]
+    fn top_sites_ranks_root_edges_by_time() {
+        let top = sample().top_sites(5);
+        assert_eq!(
+            top,
+            vec![
+                ("timing".to_string(), 8_000, 2),
+                ("migration-policy".to_string(), 2_000, 1),
+            ]
+        );
+        // Child edges never appear, and `n` truncates the ranking.
+        assert_eq!(sample().top_sites(1).len(), 1);
+        assert_eq!(sample().top_sites(1)[0].0, "timing");
     }
 
     #[test]

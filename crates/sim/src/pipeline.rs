@@ -7,7 +7,7 @@ use starnuma_migration::{
     static_oracle_placement_with_sharers, MetadataRegion, MigrationCosts, OracleDynamicPolicy,
     PageAccessCounts, PageMap, PolicyConfig, ReplicaMap, ThresholdPolicy,
 };
-use starnuma_obs::{EventCategory, EventLevel, FieldValue, ObsReport, ObsSink};
+use starnuma_obs::{EventCategory, EventLevel, FieldValue, ObsReport, ObsSink, PhaseCheck};
 use starnuma_prof::{ProfScope, Site};
 use starnuma_topology::Network;
 use starnuma_trace::{TraceGenerator, WorkloadProfile};
@@ -103,11 +103,21 @@ impl Runner {
     /// latency histograms, phase-barrier substrate counters, and the
     /// structured event journal. Returns the result alongside the report.
     pub fn run_with_obs(self) -> (RunResult, ObsReport) {
+        self.run_with_obs_faulted(None)
+    }
+
+    /// [`Runner::run_with_obs`], optionally arming a one-shot injected
+    /// monitor fault (`Some(monitor_name)`) before the run starts — the
+    /// deterministic way to prove the violation path fires end to end.
+    pub fn run_with_obs_faulted(self, fault: Option<&str>) -> (RunResult, ObsReport) {
         let mut obs = ObsSink::enabled(
             self.config.params.num_sockets,
             crate::access_class_labels(),
             starnuma_obs::DEFAULT_JOURNAL_CAPACITY,
         );
+        if let Some(monitor) = fault {
+            obs.arm_monitor_fault(monitor);
+        }
         let result = self.run_observed(&mut obs);
         (result, obs.finish())
     }
@@ -399,25 +409,39 @@ impl Runner {
             if obs.is_enabled() {
                 let _prof = ProfScope::enter(Site::ObsExport);
                 let llc_now = sim.llc_stats();
+                let dir_now = sim.directory_stats();
+                // The cumulative substrates must never count backwards —
+                // checked before the saturating-looking subtractions below
+                // would hide a regression by underflowing.
+                let substrate_counters_monotone = llc_now.hits >= prev_llc.hits
+                    && llc_now.misses >= prev_llc.misses
+                    && llc_now.writebacks >= prev_llc.writebacks
+                    && dir_now.transactions >= prev_dir.transactions
+                    && dir_now.pool_transactions >= prev_dir.pool_transactions
+                    && dir_now.bt_socket >= prev_dir.bt_socket
+                    && dir_now.bt_pool >= prev_dir.bt_pool
+                    && dir_now.invalidations >= prev_dir.invalidations
+                    && dir_now.writebacks >= prev_dir.writebacks;
                 obs.observe(
                     "llc",
                     &starnuma_cache::CacheStats {
-                        hits: llc_now.hits - prev_llc.hits,
-                        misses: llc_now.misses - prev_llc.misses,
-                        writebacks: llc_now.writebacks - prev_llc.writebacks,
+                        hits: llc_now.hits.saturating_sub(prev_llc.hits),
+                        misses: llc_now.misses.saturating_sub(prev_llc.misses),
+                        writebacks: llc_now.writebacks.saturating_sub(prev_llc.writebacks),
                     },
                 );
                 prev_llc = llc_now;
-                let dir_now = sim.directory_stats();
                 obs.observe(
                     "dir",
                     &starnuma_coherence::DirectoryStats {
-                        transactions: dir_now.transactions - prev_dir.transactions,
-                        pool_transactions: dir_now.pool_transactions - prev_dir.pool_transactions,
-                        bt_socket: dir_now.bt_socket - prev_dir.bt_socket,
-                        bt_pool: dir_now.bt_pool - prev_dir.bt_pool,
-                        invalidations: dir_now.invalidations - prev_dir.invalidations,
-                        writebacks: dir_now.writebacks - prev_dir.writebacks,
+                        transactions: dir_now.transactions.saturating_sub(prev_dir.transactions),
+                        pool_transactions: dir_now
+                            .pool_transactions
+                            .saturating_sub(prev_dir.pool_transactions),
+                        bt_socket: dir_now.bt_socket.saturating_sub(prev_dir.bt_socket),
+                        bt_pool: dir_now.bt_pool.saturating_sub(prev_dir.bt_pool),
+                        invalidations: dir_now.invalidations.saturating_sub(prev_dir.invalidations),
+                        writebacks: dir_now.writebacks.saturating_sub(prev_dir.writebacks),
                     },
                 );
                 prev_dir = dir_now;
@@ -430,6 +454,18 @@ impl Runner {
                 if let Some(pool) = pool_mem {
                     obs.observe("mem.pool", &pool);
                 }
+                // Online invariant monitors (phase barrier): a healthy run
+                // fires nothing, so the exports of a clean run are
+                // unchanged by this call.
+                obs.check_monitors(&PhaseCheck {
+                    phase: phase_no,
+                    pool_pages: map.pool_pages(),
+                    pool_capacity_pages: map.pool_capacity_pages(),
+                    planned_moves: plan.total(),
+                    migration_limit_pages: self.config.migration_limit_pages,
+                    memory_accesses: stats.memory_accesses(),
+                    substrate_counters_monotone,
+                });
             }
             sim.reset_servers();
             phase_stats.push(stats);

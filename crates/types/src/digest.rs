@@ -1,0 +1,88 @@
+//! FNV-1a digests and their hex rendering.
+//!
+//! The run ledger and the equivalence gates identify configurations and
+//! results by a 64-bit FNV-1a hash over their `Debug` rendering (Debug
+//! renders every float with shortest-roundtrip precision, so the digest is
+//! bit-exact). JSON cannot carry a `u64` losslessly through an `f64`
+//! number, so digests travel as `"0x..."` hex strings — the helpers here
+//! keep the two representations in one place.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a hash. Start from [`FNV_OFFSET`]
+/// (or a previous call's return value, to chain buffers).
+///
+/// # Examples
+///
+/// ```
+/// use starnuma_types::{fnv1a, FNV_OFFSET};
+/// let h = fnv1a(b"starnuma", FNV_OFFSET);
+/// assert_eq!(h, fnv1a(b"numa", fnv1a(b"star", FNV_OFFSET)));
+/// ```
+pub fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Digest of a single buffer, starting from the offset basis.
+pub fn fnv1a_digest(bytes: &[u8]) -> u64 {
+    fnv1a(bytes, FNV_OFFSET)
+}
+
+/// Renders a digest as a fixed-width `0x`-prefixed hex string
+/// (`"0x00000000000004d2"`).
+pub fn digest_hex(digest: u64) -> String {
+    format!("{digest:#018x}")
+}
+
+/// Parses a digest rendered by [`digest_hex`]. Accepts any `0x`-prefixed
+/// hex string up to 16 digits; returns `None` otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use starnuma_types::{digest_hex, parse_digest_hex};
+/// assert_eq!(parse_digest_hex(&digest_hex(1234)), Some(1234));
+/// assert_eq!(parse_digest_hex("1234"), None);
+/// ```
+pub fn parse_digest_hex(s: &str) -> Option<u64> {
+    let hex = s.strip_prefix("0x")?;
+    if hex.is_empty() || hex.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("") is the offset basis; FNV-1a("a") is a published vector.
+        assert_eq!(fnv1a_digest(b""), FNV_OFFSET);
+        assert_eq!(fnv1a_digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn hex_round_trips_extremes() {
+        for v in [0u64, 1, u64::MAX, FNV_OFFSET] {
+            assert_eq!(parse_digest_hex(&digest_hex(v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_digest_hex(""), None);
+        assert_eq!(parse_digest_hex("0x"), None);
+        assert_eq!(parse_digest_hex("0xzz"), None);
+        assert_eq!(parse_digest_hex("0x00000000000000000"), None);
+    }
+}

@@ -22,6 +22,7 @@
 
 mod access;
 mod diag;
+mod digest;
 mod error;
 mod ids;
 mod index;
@@ -30,6 +31,7 @@ mod units;
 
 pub use access::{AccessType, MemAccess, RwMix};
 pub use diag::{json_escape, Diagnostic, Severity};
+pub use digest::{digest_hex, fnv1a, fnv1a_digest, parse_digest_hex, FNV_OFFSET, FNV_PRIME};
 pub use error::{ConfigError, StarNumaError};
 pub use ids::{BlockAddr, ChassisId, CoreId, Location, PageId, PhysAddr, RegionId, SocketId};
 pub use index::{DetKey, DetMap};
